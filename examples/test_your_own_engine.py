@@ -1,0 +1,88 @@
+"""Use TQS as a library to test your own engine / bug hypothesis.
+
+The public API lets a downstream user plug in a custom fault profile (their own
+"DBMS under test") and immediately reuse DSG's ground-truth oracle and the TQS
+loop.  This example defines a fictional engine whose hash join silently treats
+NULL join keys as zero (the X-DB Listing 6 bug class), runs TQS against it, and
+then shows how the incident is minimized into a report-ready test case.
+
+Run with:  python examples/test_your_own_engine.py
+"""
+
+from __future__ import annotations
+
+from repro import DSG, DSGConfig, Engine, TQS, TQSConfig
+from repro.engine import BugSpec, DialectProfile, FaultTrigger
+from repro.engine.faults import HASH_BASED_ALGORITHMS
+from repro.plan import JoinType
+
+# --- 1. Describe the engine under test as a dialect profile -----------------
+
+MY_ENGINE = DialectProfile(
+    name="AcmeDB",
+    version="0.9-rc1",
+    db_engines_rank=None,
+    stack_overflow_rank=None,
+    github_stars_thousands=None,
+    loc_millions=0.4,
+    first_release=2025,
+    bugs=(
+        BugSpec(
+            bug_id=101,
+            dbms="AcmeDB",
+            seam="flag",
+            behavior="hash_join_null_key_matches_zero",
+            trigger=FaultTrigger(
+                algorithms=HASH_BASED_ALGORITHMS,
+                join_types=frozenset({JoinType.INNER, JoinType.LEFT_OUTER}),
+            ),
+            severity="Critical",
+            description="Hash join cannot distinguish NULL join keys from 0.",
+        ),
+        BugSpec(
+            bug_id=102,
+            dbms="AcmeDB",
+            seam="null_pad",
+            behavior="zero",
+            trigger=FaultTrigger(
+                join_types=frozenset({JoinType.LEFT_OUTER, JoinType.RIGHT_OUTER}),
+                requires_disabled_switches=frozenset({"outer_join_with_cache"}),
+            ),
+            severity="Major",
+            description="Outer-join padding writes 0 instead of NULL when the "
+                        "outer-join cache is disabled.",
+        ),
+    ),
+)
+
+# --- 2. Point TQS at it ------------------------------------------------------
+
+
+def main() -> None:
+    dsg = DSG(DSGConfig(dataset="kddcup", dataset_rows=150, seed=23))
+    engine = Engine(dsg.database, MY_ENGINE)
+    tqs = TQS(dsg, engine, TQSConfig(seed=23, reduce_failures=True))
+    print(f"Testing {engine.name} on the {dsg.dataset.name} schema "
+          f"({', '.join(dsg.ndb.schema.table_names)}) ...")
+    log = tqs.run(iterations=60)
+    print(log.summary())
+    print()
+    for bug_id in sorted(log.bug_types):
+        bug = next(b for b in MY_ENGINE.bugs if b.bug_id == bug_id)
+        print(f"detected seeded fault {bug_id}: {bug.description}")
+    print()
+
+    # --- 3. Inspect one minimized failing test case -------------------------
+    minimized = [i for i in log.incidents if i.minimized_sql]
+    if minimized:
+        incident = minimized[0]
+        print("Minimized failing query (ready for a bug report):")
+        print(incident.minimized_sql)
+        print(f"expected {incident.expected_rows} rows, "
+              f"observed {incident.observed_rows} (hint set: {incident.hint_name})")
+    else:
+        print("No incident was minimized in this short run; raise `iterations`.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analysis helpers: metric series and table/figure renderers."""
+
+from repro.analysis.metrics import (
+    SeriesComparison,
+    compare_final,
+    growth_is_monotonic,
+    linearity_score,
+    saturation_hour,
+)
+from repro.analysis.reporting import (
+    render_ablation,
+    render_bug_type_details,
+    render_dbms_overview,
+    render_detected_bugs,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "SeriesComparison",
+    "compare_final",
+    "growth_is_monotonic",
+    "linearity_score",
+    "render_ablation",
+    "render_bug_type_details",
+    "render_dbms_overview",
+    "render_detected_bugs",
+    "render_series",
+    "render_table",
+    "saturation_hour",
+]

@@ -1,0 +1,31 @@
+"""SQLancer-style baselines adapted to multi-table join testing (paper §5.2)."""
+
+from repro.baselines.base import BaselineTester
+from repro.baselines.norec import NoRecTester
+from repro.baselines.pqs import PQSTester
+from repro.baselines.tlp import TLPTester
+
+BASELINES = {
+    "PQS": PQSTester,
+    "TLP": TLPTester,
+    "NoRec": NoRecTester,
+}
+"""Registry of baseline testers by name."""
+
+
+def make_baseline(name: str) -> BaselineTester:
+    """Instantiate a baseline tester by name."""
+    try:
+        return BASELINES[name]()
+    except KeyError:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINES)}") from None
+
+
+__all__ = [
+    "BASELINES",
+    "BaselineTester",
+    "NoRecTester",
+    "PQSTester",
+    "TLPTester",
+    "make_baseline",
+]

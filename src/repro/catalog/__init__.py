@@ -1,0 +1,14 @@
+"""Catalog objects: columns, table schemas, keys and database schemas."""
+
+from repro.catalog.column import Column
+from repro.catalog.schema import DatabaseSchema, ForeignKey
+from repro.catalog.table import KeyConstraint, TableSchema, make_table
+
+__all__ = [
+    "Column",
+    "DatabaseSchema",
+    "ForeignKey",
+    "KeyConstraint",
+    "TableSchema",
+    "make_table",
+]

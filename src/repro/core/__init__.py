@@ -1,0 +1,36 @@
+"""TQS core: the testing loop, bug logs, reduction, campaigns and parallel search."""
+
+from repro.core.bug_report import BugIncident, BugLog
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    HourlySample,
+    run_ablation,
+    run_baseline_campaign,
+    run_tqs_campaign,
+)
+from repro.core.parallel import (
+    ParallelSearchConfig,
+    ParallelSearchResult,
+    ParallelSearchSimulator,
+)
+from repro.core.reduction import QueryReducer
+from repro.core.tqs import TQS, IterationOutcome, TQSConfig
+
+__all__ = [
+    "BugIncident",
+    "BugLog",
+    "CampaignConfig",
+    "CampaignResult",
+    "HourlySample",
+    "IterationOutcome",
+    "ParallelSearchConfig",
+    "ParallelSearchResult",
+    "ParallelSearchSimulator",
+    "QueryReducer",
+    "TQS",
+    "TQSConfig",
+    "run_ablation",
+    "run_baseline_campaign",
+    "run_tqs_campaign",
+]

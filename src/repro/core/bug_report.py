@@ -1,0 +1,86 @@
+"""Bug reports, incidents and root-cause bookkeeping.
+
+The paper reports two numbers per DBMS: the number of *bugs* found in 24 hours
+(Table 4 / Figure 8-9, e.g. 31 for MySQL) and the number of *bug types* after
+root-cause analysis (7 for MySQL).  We mirror that: every oracle mismatch yields
+a :class:`BugIncident`; incidents are deduplicated by (root-cause bug ids, query
+structure) to form "bugs", and the set of implicated seeded fault ids forms the
+"bug types".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class BugIncident:
+    """One detected mismatch between an engine result and the oracle."""
+
+    dbms: str
+    query_sql: str
+    hint_name: str
+    detection_mode: str  # "ground_truth" or "differential"
+    query_canonical_label: str
+    fired_bug_ids: Tuple[int, ...]
+    expected_rows: int
+    observed_rows: int
+    minimized_sql: Optional[str] = None
+
+    @property
+    def root_cause(self) -> FrozenSet[int]:
+        """The seeded fault ids implicated in this incident."""
+        return frozenset(self.fired_bug_ids)
+
+
+@dataclass
+class BugLog:
+    """Accumulates incidents and exposes the paper's two headline metrics."""
+
+    incidents: List[BugIncident] = field(default_factory=list)
+    _bug_keys: Set[Tuple[FrozenSet[int], str]] = field(default_factory=set)
+
+    def record(self, incident: BugIncident) -> bool:
+        """Add an incident; returns True when it constitutes a *new* bug.
+
+        A "bug" in the paper's counting is a unique minimized test case: we
+        approximate that by the pair (root-cause fault ids, query-graph
+        isomorphism class), so re-detecting the same fault through a structurally
+        identical query does not inflate the count.
+        """
+        self.incidents.append(incident)
+        key = (incident.root_cause, incident.query_canonical_label)
+        if key in self._bug_keys:
+            return False
+        self._bug_keys.add(key)
+        return True
+
+    @property
+    def bug_count(self) -> int:
+        """Number of distinct bugs (unique test cases) found so far."""
+        return len(self._bug_keys)
+
+    @property
+    def bug_types(self) -> Set[int]:
+        """The seeded fault ids implicated so far (the paper's bug types)."""
+        types: Set[int] = set()
+        for incident in self.incidents:
+            types.update(incident.fired_bug_ids)
+        return types
+
+    @property
+    def bug_type_count(self) -> int:
+        """Number of distinct bug types."""
+        return len(self.bug_types)
+
+    def incidents_for_type(self, bug_id: int) -> List[BugIncident]:
+        """All incidents implicating one seeded fault."""
+        return [i for i in self.incidents if bug_id in i.fired_bug_ids]
+
+    def summary(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.bug_count} bugs of {self.bug_type_count} types "
+            f"({len(self.incidents)} raw incidents)"
+        )

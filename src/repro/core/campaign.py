@@ -1,0 +1,169 @@
+"""Testing campaigns: the simulated 24-hour runs behind every figure and table.
+
+The paper runs each tool for 24 wall-clock hours and reports per-hour series
+(diversity, bug count) plus end-of-run totals (Table 4, Table 5).  A laptop
+reproduction cannot spend 24 real hours per cell, so a campaign is budgeted:
+each simulated "hour" corresponds to a fixed number of generated queries, and
+all per-hour series are reported against simulated hours.  Shapes (who grows
+faster, where curves flatten) are preserved; absolute per-hour magnitudes simply
+scale with the per-hour budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import BaselineTester
+from repro.core.bug_report import BugLog
+from repro.core.tqs import TQS, TQSConfig
+from repro.dsg.pipeline import DSG, DSGConfig
+from repro.engine.dialects import DialectProfile
+from repro.engine.engine import Engine
+from repro.errors import CampaignError, GenerationError
+
+
+@dataclass
+class HourlySample:
+    """The cumulative state of a campaign after one simulated hour."""
+
+    hour: int
+    queries_generated: int
+    queries_executed: int
+    isomorphic_sets: int
+    bug_count: int
+    bug_type_count: int
+
+
+@dataclass
+class CampaignResult:
+    """Full output of one campaign."""
+
+    tool: str
+    dbms: str
+    dataset: str
+    samples: List[HourlySample] = field(default_factory=list)
+    bug_log: Optional[BugLog] = None
+
+    @property
+    def final(self) -> HourlySample:
+        """The last hourly sample."""
+        if not self.samples:
+            raise CampaignError("campaign produced no samples")
+        return self.samples[-1]
+
+    def series(self, attribute: str) -> List[int]:
+        """One per-hour series, e.g. ``series('bug_count')``."""
+        return [getattr(sample, attribute) for sample in self.samples]
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of a TQS campaign."""
+
+    dataset: str = "shopping"
+    dataset_rows: int = 150
+    hours: int = 24
+    queries_per_hour: int = 12
+    seed: int = 5
+    use_noise: bool = True
+    use_ground_truth: bool = True
+    use_kqe: bool = True
+    max_hint_sets: Optional[int] = None
+
+    def dsg_config(self) -> DSGConfig:
+        """The DSG configuration implied by this campaign."""
+        return DSGConfig(
+            dataset=self.dataset,
+            dataset_rows=self.dataset_rows,
+            seed=self.seed,
+            inject_noise=self.use_noise,
+            adversarial_pairs=self.use_noise,
+            max_hint_sets=self.max_hint_sets,
+        )
+
+
+def run_tqs_campaign(dialect: DialectProfile,
+                     config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run TQS against one simulated DBMS for a budgeted number of hours."""
+    config = config or CampaignConfig()
+    dsg = DSG(config.dsg_config())
+    engine = Engine(dsg.database, dialect)
+    tqs = TQS(
+        dsg,
+        engine,
+        TQSConfig(
+            use_ground_truth=config.use_ground_truth,
+            use_kqe=config.use_kqe,
+            seed=config.seed,
+        ),
+    )
+    variant = "TQS"
+    if not config.use_noise:
+        variant = "TQS!Noise"
+    elif not config.use_ground_truth:
+        variant = "TQS!GT"
+    elif not config.use_kqe:
+        variant = "TQS!KQE"
+    result = CampaignResult(tool=variant, dbms=dialect.name, dataset=config.dataset)
+    for hour in range(1, config.hours + 1):
+        for _ in range(config.queries_per_hour):
+            try:
+                tqs.run_iteration()
+            except GenerationError:
+                continue
+        result.samples.append(
+            HourlySample(
+                hour=hour,
+                queries_generated=tqs.queries_generated,
+                queries_executed=tqs.queries_executed,
+                isomorphic_sets=tqs.explored_isomorphic_sets,
+                bug_count=tqs.bug_log.bug_count,
+                bug_type_count=tqs.bug_log.bug_type_count,
+            )
+        )
+    result.bug_log = tqs.bug_log
+    return result
+
+
+def run_baseline_campaign(baseline: BaselineTester, dialect: DialectProfile,
+                          config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run one SQLancer-style baseline for the same budget."""
+    config = config or CampaignConfig()
+    dsg = DSG(config.dsg_config())
+    engine = Engine(dsg.database, dialect)
+    baseline.bind(dsg, engine, seed=config.seed)
+    result = CampaignResult(tool=baseline.name, dbms=dialect.name, dataset=config.dataset)
+    for hour in range(1, config.hours + 1):
+        for _ in range(config.queries_per_hour):
+            baseline.run_iteration()
+        result.samples.append(
+            HourlySample(
+                hour=hour,
+                queries_generated=baseline.queries_generated,
+                queries_executed=baseline.queries_executed,
+                isomorphic_sets=baseline.explored_isomorphic_sets,
+                bug_count=baseline.bug_log.bug_count,
+                bug_type_count=baseline.bug_log.bug_type_count,
+            )
+        )
+    result.bug_log = baseline.bug_log
+    return result
+
+
+def run_ablation(dialect: DialectProfile, base_config: Optional[CampaignConfig] = None
+                 ) -> Dict[str, CampaignResult]:
+    """Run the four Table 5 variants against one DBMS."""
+    base_config = base_config or CampaignConfig()
+    variants = {
+        "TQS": {},
+        "TQS!Noise": {"use_noise": False},
+        "TQS!GT": {"use_ground_truth": False},
+        "TQS!KQE": {"use_kqe": False},
+    }
+    results: Dict[str, CampaignResult] = {}
+    for name, overrides in variants.items():
+        config = CampaignConfig(**{**base_config.__dict__, **overrides})
+        results[name] = run_tqs_campaign(dialect, config)
+    return results

@@ -1,0 +1,250 @@
+"""Join bitmap index with WAH-style run-length compression (paper §3.1, §3.4).
+
+One :class:`Bitmap` per schema table, with one bit per wide-table row: bit *i* is
+set when wide row *i* produced a row in that table.  The per-join-type rules of
+Table 2 combine these bitmaps with AND / OR / NOT to recover the ground-truth
+row-id set of a join chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GroundTruthError
+
+
+class Bitmap:
+    """A fixed-length bit array supporting the bitwise operators of Table 2."""
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int, bits: Optional[int] = None) -> None:
+        if size < 0:
+            raise GroundTruthError("bitmap size must be non-negative")
+        self.size = size
+        self._bits = 0 if bits is None else bits & ((1 << size) - 1 if size else 0)
+
+    # ----------------------------------------------------------------- construction
+
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int]) -> "Bitmap":
+        """Build a bitmap with the given positions set."""
+        bitmap = cls(size)
+        for index in indices:
+            bitmap.set(index)
+        return bitmap
+
+    @classmethod
+    def ones(cls, size: int) -> "Bitmap":
+        """A bitmap with every bit set."""
+        return cls(size, (1 << size) - 1 if size else 0)
+
+    # ---------------------------------------------------------------------- access
+
+    def set(self, index: int, value: bool = True) -> None:
+        """Set or clear one bit."""
+        self._check(index)
+        if value:
+            self._bits |= 1 << index
+        else:
+            self._bits &= ~(1 << index)
+
+    def get(self, index: int) -> bool:
+        """Read one bit."""
+        self._check(index)
+        return bool((self._bits >> index) & 1)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise GroundTruthError(f"bit index {index} out of range [0, {self.size})")
+
+    def indices(self) -> List[int]:
+        """Positions of all set bits, ascending."""
+        result = []
+        bits = self._bits
+        position = 0
+        while bits:
+            if bits & 1:
+                result.append(position)
+            bits >>= 1
+            position += 1
+        return result
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return bin(self._bits).count("1")
+
+    def density(self) -> float:
+        """Fraction of set bits (0 for an empty bitmap)."""
+        return self.count() / self.size if self.size else 0.0
+
+    def extend(self, extra_bits: int = 1) -> None:
+        """Grow the bitmap by *extra_bits* cleared bits (new wide rows)."""
+        if extra_bits < 0:
+            raise GroundTruthError("cannot shrink a bitmap")
+        self.size += extra_bits
+
+    # ------------------------------------------------------------------ operators
+
+    def _combine(self, other: "Bitmap", bits: int) -> "Bitmap":
+        if self.size != other.size:
+            raise GroundTruthError(
+                f"bitmap sizes differ: {self.size} vs {other.size}"
+            )
+        return Bitmap(self.size, bits)
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        return self._combine(other, self._bits & other._bits)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        return self._combine(other, self._bits | other._bits)
+
+    def __xor__(self, other: "Bitmap") -> "Bitmap":
+        return self._combine(other, self._bits ^ other._bits)
+
+    def __invert__(self) -> "Bitmap":
+        mask = (1 << self.size) - 1 if self.size else 0
+        return Bitmap(self.size, (~self._bits) & mask)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bitmap)
+            and self.size == other.size
+            and self._bits == other._bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._bits))
+
+    def copy(self) -> "Bitmap":
+        """A copy of this bitmap."""
+        return Bitmap(self.size, self._bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Bitmap(size={self.size}, set={self.count()})"
+
+
+# ----------------------------------------------------------------- WAH encoding
+
+_WORD = 31
+"""Payload bits per WAH word (32-bit words with one flag bit)."""
+
+
+def wah_encode(bitmap: Bitmap) -> List[Tuple[str, int]]:
+    """Encode a bitmap with Word-Aligned Hybrid run-length encoding.
+
+    Returns a list of ``("literal", payload)`` and ``("fill", (bit, count))``
+    words.  Fill words compress runs of identical 31-bit groups, which is what
+    makes sparse join bitmaps cheap to store (paper §3.1).
+    """
+    words: List[Tuple[str, int]] = []
+    groups = []
+    for start in range(0, bitmap.size, _WORD):
+        payload = 0
+        for offset in range(min(_WORD, bitmap.size - start)):
+            if bitmap.get(start + offset):
+                payload |= 1 << offset
+        groups.append(payload)
+    full = (1 << _WORD) - 1
+    index = 0
+    while index < len(groups):
+        payload = groups[index]
+        if payload in (0, full):
+            run = 1
+            while index + run < len(groups) and groups[index + run] == payload:
+                run += 1
+            words.append(("fill", (1 if payload == full else 0, run)))
+            index += run
+        else:
+            words.append(("literal", payload))
+            index += 1
+    return words
+
+
+def wah_decode(words: Sequence[Tuple[str, int]], size: int) -> Bitmap:
+    """Decode a WAH word sequence back into a bitmap of the given size."""
+    bitmap = Bitmap(size)
+    position = 0
+    for kind, value in words:
+        if kind == "literal":
+            for offset in range(_WORD):
+                if position + offset >= size:
+                    break
+                if (value >> offset) & 1:
+                    bitmap.set(position + offset)
+            position += _WORD
+        elif kind == "fill":
+            bit, count = value
+            length = count * _WORD
+            if bit:
+                for offset in range(length):
+                    if position + offset >= size:
+                        break
+                    bitmap.set(position + offset)
+            position += length
+        else:  # pragma: no cover - defensive
+            raise GroundTruthError(f"unknown WAH word kind {kind!r}")
+    return bitmap
+
+
+def wah_compressed_words(bitmap: Bitmap) -> int:
+    """Number of WAH words needed for *bitmap* (used by the bitmap ablation bench)."""
+    return len(wah_encode(bitmap))
+
+
+class JoinBitmapIndex:
+    """The per-table join bitmaps over one wide table."""
+
+    def __init__(self, wide_size: int, table_names: Sequence[str]) -> None:
+        self.wide_size = wide_size
+        self._bitmaps: Dict[str, Bitmap] = {
+            name: Bitmap(wide_size) for name in table_names
+        }
+
+    @property
+    def table_names(self) -> List[str]:
+        """Tables covered by the index."""
+        return list(self._bitmaps)
+
+    def bitmap(self, table: str) -> Bitmap:
+        """The bitmap of one table."""
+        try:
+            return self._bitmaps[table]
+        except KeyError:
+            raise GroundTruthError(f"no join bitmap for table {table!r}") from None
+
+    def set(self, table: str, row_id: int, value: bool = True) -> None:
+        """Set/clear the bit of (table, wide row)."""
+        self.bitmap(table).set(row_id, value)
+
+    def get(self, table: str, row_id: int) -> bool:
+        """Read the bit of (table, wide row)."""
+        return self.bitmap(table).get(row_id)
+
+    def add_wide_row(self) -> int:
+        """Register a new wide row (noise insertion); returns its RowID."""
+        for bitmap in self._bitmaps.values():
+            bitmap.extend(1)
+        self.wide_size += 1
+        return self.wide_size - 1
+
+    def sparsity_ranked_tables(self, tables: Sequence[str]) -> List[str]:
+        """Order tables from most to least sparse bitmap (jump-intersection order)."""
+        return sorted(tables, key=lambda name: self.bitmap(name).count())
+
+    def intersect(self, tables: Sequence[str]) -> Bitmap:
+        """AND the bitmaps of several tables, most sparse first (§3.4)."""
+        if not tables:
+            return Bitmap.ones(self.wide_size)
+        ordered = self.sparsity_ranked_tables(tables)
+        result = self.bitmap(ordered[0]).copy()
+        for name in ordered[1:]:
+            result = result & self.bitmap(name)
+        return result
+
+    def copy(self) -> "JoinBitmapIndex":
+        """Deep copy of the index."""
+        clone = JoinBitmapIndex(self.wide_size, list(self._bitmaps))
+        for name, bitmap in self._bitmaps.items():
+            clone._bitmaps[name] = bitmap.copy()
+        return clone

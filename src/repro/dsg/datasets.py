@@ -1,0 +1,267 @@
+"""Synthetic wide-table datasets used by the testing campaigns.
+
+The paper builds its wide table from the UCI KDD-Cup 1998 donation data and from
+TPC-H samples; neither is available offline, so this module generates synthetic
+wide tables with the same structural properties (planted functional dependencies,
+skewed value distributions, numeric/decimal/varchar key columns, corner-case
+values such as ``-0.0`` and 17-digit identifiers) that exercise exactly the same
+DSG pipeline and fault triggers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.column import Column
+from repro.dsg.fd import FunctionalDependency
+from repro.dsg.widetable import WideTable
+from repro.sqlvalue.datatypes import (
+    bigint,
+    char,
+    decimal,
+    double,
+    float_type,
+    integer,
+    varchar,
+)
+
+
+@dataclass
+class DatasetSpec:
+    """A generated wide table plus the dependencies that were planted in it."""
+
+    name: str
+    wide: WideTable
+    planted_fds: List[FunctionalDependency]
+    key_columns: Tuple[str, ...]
+    description: str = ""
+
+
+DatasetBuilder = Callable[[int, random.Random], DatasetSpec]
+
+
+# ----------------------------------------------------------------- shopping data
+
+def shopping_orders(num_rows: int = 200, rng: Optional[random.Random] = None) -> DatasetSpec:
+    """The shopping-order wide table of Figure 3 (orders x goods x users)."""
+    rng = rng or random.Random(7)
+    goods = []
+    names = ["book", "food", "flower", "pen", "cup", "lamp", "chair", "desk"]
+    for index, name in enumerate(names):
+        goods.append((1111 + index, name))
+    # two extra goods ids sharing an existing name so goodsName -/-> goodsId
+    goods.append((1111 + len(names), "book"))
+    goods.append((1112 + len(names), "food"))
+    price_of = {name: Decimal(str(5 * (i % 5) + 5)) for i, name in enumerate(sorted(set(names)))}
+    users = [(f"str{i}", name) for i, name in enumerate(
+        ["Tom", "Peter", "Bob", "Alice", "Eve", "Tom", "Carol", "Dave"], start=1)]
+    columns = [
+        Column("orderId", varchar(12), "order identifier"),
+        Column("goodsId", bigint(20), "implicit key of the goods table"),
+        Column("goodsName", varchar(40), "goods name, determines price"),
+        Column("userId", varchar(16), "implicit key of the users table"),
+        Column("userName", varchar(40)),
+        Column("price", decimal(8, 2)),
+    ]
+    table = WideTable(columns, name="shopping")
+    order_seq = 1
+    while len(table) < num_rows:
+        order_id = f"{order_seq:04d}"
+        order_seq += 1
+        user_id, user_name = rng.choice(users)
+        for _ in range(rng.randint(1, 3)):
+            if len(table) >= num_rows:
+                break
+            goods_id, goods_name = rng.choice(goods)
+            table.append(
+                {
+                    "orderId": order_id,
+                    "goodsId": goods_id,
+                    "goodsName": goods_name,
+                    "userId": user_id,
+                    "userName": user_name,
+                    "price": price_of[goods_name],
+                }
+            )
+    planted = [
+        FunctionalDependency(("goodsId",), "goodsName"),
+        FunctionalDependency(("goodsName",), "price"),
+        FunctionalDependency(("userId",), "userName"),
+    ]
+    return DatasetSpec(
+        name="shopping",
+        wide=table,
+        planted_fds=planted,
+        key_columns=("orderId", "goodsId", "userId"),
+        description="Shopping-order dataset from Figure 3 of the paper.",
+    )
+
+
+# ------------------------------------------------------------------ KDD-Cup data
+
+def kddcup_donations(num_rows: int = 240, rng: Optional[random.Random] = None) -> DatasetSpec:
+    """A KDD-Cup-1998-like donation wide table (donors, campaigns, amount tiers).
+
+    ``amount`` is a decimal key with fractional values (trigger for the cached
+    constant bug) and ``donorId`` is a 16-digit bigint (trigger substrate for the
+    varchar/double precision-loss bugs once noise adds near-collision values).
+    """
+    rng = rng or random.Random(11)
+    states = ["CA", "NY", "TX", "WA", "IL", "FL"]
+    donors = []
+    for index in range(24):
+        donor_id = 9_000_000_000_000_000 + index * 37
+        donors.append((donor_id, rng.choice(states), 20 + (index * 3) % 60))
+    campaigns = [(500 + i, f"campaign_{chr(97 + i)}") for i in range(8)]
+    amounts = [Decimal("5.00"), Decimal("10.50"), Decimal("25.25"), Decimal("25.75"),
+               Decimal("50.00"), Decimal("99.99"), Decimal("100.01")]
+    tier_of = {}
+    for amount in amounts:
+        if amount < 25:
+            tier_of[amount] = "small"
+        elif amount < 100:
+            tier_of[amount] = "medium"
+        else:
+            tier_of[amount] = "large"
+    columns = [
+        Column("donationId", bigint(20), "one row per donation"),
+        Column("donorId", bigint(20), "implicit key of the donors table"),
+        Column("donorState", char(2)),
+        Column("donorAge", integer(4)),
+        Column("campaignId", bigint(20), "implicit key of the campaigns table"),
+        Column("campaignName", varchar(40)),
+        Column("amount", decimal(8, 2), "implicit key of the amount-tier table"),
+        Column("amountTier", varchar(12)),
+    ]
+    table = WideTable(columns, name="kddcup")
+    for index in range(num_rows):
+        donor_id, state, age = rng.choice(donors)
+        campaign_id, campaign_name = rng.choice(campaigns)
+        amount = rng.choice(amounts)
+        table.append(
+            {
+                "donationId": 10_000 + index,
+                "donorId": donor_id,
+                "donorState": state,
+                "donorAge": age,
+                "campaignId": campaign_id,
+                "campaignName": campaign_name,
+                "amount": amount,
+                "amountTier": tier_of[amount],
+            }
+        )
+    planted = [
+        FunctionalDependency(("donationId",), "donorId"),
+        FunctionalDependency(("donationId",), "campaignId"),
+        FunctionalDependency(("donationId",), "amount"),
+        FunctionalDependency(("donorId",), "donorState"),
+        FunctionalDependency(("donorId",), "donorAge"),
+        FunctionalDependency(("campaignId",), "campaignName"),
+        FunctionalDependency(("amount",), "amountTier"),
+    ]
+    return DatasetSpec(
+        name="kddcup",
+        wide=table,
+        planted_fds=planted,
+        key_columns=("donationId",),
+        description="KDD-Cup-1998-like donation dataset (donors, campaigns, tiers).",
+    )
+
+
+# -------------------------------------------------------------------- TPC-H data
+
+def tpch_like(num_rows: int = 240, rng: Optional[random.Random] = None) -> DatasetSpec:
+    """A TPC-H-like lineitem wide table (parts, suppliers, customers, discounts).
+
+    ``discount`` is a float key whose domain includes ``0.0`` and ``-0.0``: this
+    is the substrate for the hash-join / merge-join negative-zero bugs of
+    Figure 1(a) and Table 4 id 14.
+    """
+    rng = rng or random.Random(13)
+    parts = [(2_000 + i, f"part_{i:03d}") for i in range(16)]
+    suppliers = [(3_000 + i, f"supplier_{i:02d}") for i in range(8)]
+    nations = ["FRANCE", "GERMANY", "CHINA", "BRAZIL", "KENYA"]
+    customers = [(4_000 + i, f"customer_{i:02d}", nations[i % len(nations)]) for i in range(12)]
+    discounts = [0.0, -0.0, 0.05, 0.1, 0.25]
+    band_of = {0.0: "none", -0.0: "none", 0.05: "low", 0.1: "mid", 0.25: "high"}
+    columns = [
+        Column("orderKey", bigint(20)),
+        Column("lineNumber", integer(4)),
+        Column("partKey", bigint(20), "implicit key of the parts table"),
+        Column("partName", varchar(32)),
+        Column("suppKey", bigint(20), "implicit key of the suppliers table"),
+        Column("suppName", varchar(32)),
+        Column("custKey", bigint(20), "implicit key of the customers table"),
+        Column("custName", varchar(32)),
+        Column("custNation", varchar(24)),
+        Column("extendedPrice", decimal(10, 2)),
+        Column("discount", double(), "implicit key of the discount-band table"),
+        Column("discountBand", varchar(8)),
+    ]
+    table = WideTable(columns, name="tpch")
+    order_key = 100
+    while len(table) < num_rows:
+        order_key += 1
+        cust_key, cust_name, nation = rng.choice(customers)
+        for line_number in range(1, rng.randint(2, 4) + 1):
+            if len(table) >= num_rows:
+                break
+            part_key, part_name = rng.choice(parts)
+            supp_key, supp_name = rng.choice(suppliers)
+            discount = rng.choice(discounts)
+            table.append(
+                {
+                    "orderKey": order_key,
+                    "lineNumber": line_number,
+                    "partKey": part_key,
+                    "partName": part_name,
+                    "suppKey": supp_key,
+                    "suppName": supp_name,
+                    "custKey": cust_key,
+                    "custName": cust_name,
+                    "custNation": nation,
+                    "extendedPrice": Decimal(str(round(rng.uniform(10, 900), 2))),
+                    "discount": discount,
+                    "discountBand": band_of[discount],
+                }
+            )
+    planted = [
+        FunctionalDependency(("orderKey", "lineNumber"), "partKey"),
+        FunctionalDependency(("orderKey", "lineNumber"), "suppKey"),
+        FunctionalDependency(("orderKey", "lineNumber"), "discount"),
+        FunctionalDependency(("orderKey", "lineNumber"), "extendedPrice"),
+        FunctionalDependency(("orderKey",), "custKey"),
+        FunctionalDependency(("partKey",), "partName"),
+        FunctionalDependency(("suppKey",), "suppName"),
+        FunctionalDependency(("custKey",), "custName"),
+        FunctionalDependency(("custKey",), "custNation"),
+        FunctionalDependency(("discount",), "discountBand"),
+    ]
+    return DatasetSpec(
+        name="tpch",
+        wide=table,
+        planted_fds=planted,
+        key_columns=("orderKey", "lineNumber"),
+        description="TPC-H-like lineitem sample joined with its dimensions.",
+    )
+
+
+DATASETS: Dict[str, DatasetBuilder] = {
+    "shopping": shopping_orders,
+    "kddcup": kddcup_donations,
+    "tpch": tpch_like,
+}
+"""Registry of dataset builders by name."""
+
+
+def build_dataset(name: str, num_rows: int = 200,
+                  rng: Optional[random.Random] = None) -> DatasetSpec:
+    """Build a registered dataset by name."""
+    try:
+        builder = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from None
+    return builder(num_rows, rng or random.Random(0))

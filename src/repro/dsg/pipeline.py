@@ -1,0 +1,147 @@
+"""The DSG facade: dataset -> normalized, noise-injected test database (``DBGen``).
+
+:class:`DSG` wires the whole §3 pipeline together: build (or accept) a wide
+table, discover FDs, normalize into 3NF tables with RowID map and join bitmap
+index, inject noise with wide-table synchronization, and expose the random-walk
+query generator, the hint generator and the ground-truth oracle over the result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dsg.datasets import DatasetSpec, build_dataset
+from repro.dsg.ground_truth import GroundTruth, GroundTruthOracle
+from repro.dsg.hintgen import HintGenerator, TransformedQuery
+from repro.dsg.noise import NoiseInjector, NoiseReport
+from repro.dsg.normalization import NormalizedDatabase, SchemaNormalizer
+from repro.dsg.query_gen import (
+    ExtensionChooser,
+    GenerationConfig,
+    RandomWalkQueryGenerator,
+)
+from repro.dsg.schema_graph import SchemaGraph
+from repro.dsg.widetable import WideTable
+from repro.plan.logical import QuerySpec
+from repro.storage.database import Database
+
+
+@dataclass
+class DSGConfig:
+    """Configuration of the DSG pipeline."""
+
+    dataset: str = "shopping"
+    dataset_rows: int = 200
+    seed: int = 7
+    noise_epsilon: float = 0.08
+    inject_noise: bool = True
+    adversarial_pairs: bool = True
+    max_fd_lhs: int = 2
+    fd_source: str = "planted"
+    generation: GenerationConfig = field(default_factory=GenerationConfig)
+    max_hint_sets: Optional[int] = None
+
+
+class DSG:
+    """Data-guided Schema and query Generation over one dataset."""
+
+    def __init__(self, config: Optional[DSGConfig] = None,
+                 wide: Optional[WideTable] = None) -> None:
+        self.config = config or DSGConfig()
+        self.rng = random.Random(self.config.seed)
+        if wide is not None:
+            self.dataset = DatasetSpec(name="custom", wide=wide, planted_fds=[],
+                                       key_columns=())
+        else:
+            self.dataset = build_dataset(
+                self.config.dataset, self.config.dataset_rows,
+                random.Random(self.config.seed),
+            )
+        # The paper discovers FDs with TANE/HyFD on large real datasets; our
+        # synthetic wide tables are small enough that purely data-driven
+        # discovery also surfaces spurious dependencies, so by default the
+        # planted dependencies (which discovery provably includes, see the FD
+        # tests) drive the decomposition.  Set ``fd_source='discovered'`` to run
+        # the fully automatic pipeline.
+        fds = None
+        key_override = None
+        if self.config.fd_source == "planted" and self.dataset.planted_fds:
+            fds = self.dataset.planted_fds
+            key_override = self.dataset.key_columns or None
+        normalizer = SchemaNormalizer(
+            self.dataset.wide,
+            fds=fds,
+            max_lhs_size=self.config.max_fd_lhs,
+            key_override=key_override,
+        )
+        self.ndb: NormalizedDatabase = normalizer.build(
+            database_name=f"tqs_{self.dataset.name}"
+        )
+        if self.config.inject_noise:
+            injector = NoiseInjector(
+                self.ndb,
+                rng=random.Random(self.config.seed + 1),
+                epsilon=self.config.noise_epsilon,
+                adversarial_pairs=self.config.adversarial_pairs,
+            )
+            self.noise_report: Optional[NoiseReport] = injector.inject()
+        else:
+            self.noise_report = None
+        self.schema_graph = SchemaGraph(self.ndb.schema)
+        self.query_generator = RandomWalkQueryGenerator(
+            self.ndb,
+            noise_report=self.noise_report,
+            rng=random.Random(self.config.seed + 2),
+            config=self.config.generation,
+        )
+        self.hint_generator = HintGenerator(
+            rng=random.Random(self.config.seed + 3),
+            max_hint_sets=self.config.max_hint_sets,
+        )
+        self.oracle = GroundTruthOracle(self.ndb)
+
+    # ------------------------------------------------------------------ access
+
+    @property
+    def database(self) -> Database:
+        """The normalized, noise-injected test database."""
+        return self.ndb.database
+
+    @property
+    def wide(self) -> WideTable:
+        """The (noise-synchronized) wide table."""
+        return self.ndb.wide
+
+    # --------------------------------------------------------------- generation
+
+    def generate_query(self, start_table: Optional[str] = None,
+                       extension_chooser: Optional[ExtensionChooser] = None) -> QuerySpec:
+        """Generate one join query by random walk (Algorithm 1, line 10)."""
+        return self.query_generator.generate(
+            start_table=start_table, extension_chooser=extension_chooser
+        )
+
+    def transform_query(self, query: QuerySpec) -> List[TransformedQuery]:
+        """Build the hinted variants of a query (Algorithm 1, line 11)."""
+        return self.hint_generator.transform(query)
+
+    def ground_truth(self, query: QuerySpec) -> GroundTruth:
+        """Recover the ground truth of a query (Algorithm 1, line 12)."""
+        return self.oracle.compute(query)
+
+    def describe(self) -> str:
+        """Human-readable summary of the generated test database."""
+        lines = [
+            f"dataset: {self.dataset.name} ({len(self.dataset.wide)} wide rows)",
+            f"tables: {', '.join(self.ndb.schema.table_names)}",
+            f"foreign keys: {len(self.ndb.schema.foreign_keys)}",
+            f"functional dependencies: {len(self.ndb.fds)}",
+        ]
+        if self.noise_report is not None:
+            lines.append(
+                f"noise events: {self.noise_report.count} "
+                f"(augmented tables: {sorted(self.noise_report.augmented_tables)})"
+            )
+        return "\n".join(lines)

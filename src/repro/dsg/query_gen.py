@@ -1,0 +1,287 @@
+"""Random-walk join query generation (paper §3.3, Figure 5).
+
+The generator walks the schema graph starting from a random table vertex.  Each
+table–table edge it crosses becomes a join step (whose join type is drawn from a
+weighted distribution), each table–column edge becomes a filter predicate, and the
+result is assembled into a :class:`~repro.plan.logical.QuerySpec` -- the AST of
+Figure 5.
+
+Join-type choices are restricted to the configurations for which the bitmap
+ground truth of §3.4 is exact (see DESIGN.md §4): outer joins preserve the
+foreign-key (child) side, semi/anti joins always probe the parent side, full
+outer joins are only generated between noise-free tables, and cross joins are
+verified as subsets.
+
+KQE plugs into :meth:`RandomWalkQueryGenerator.generate` through the
+``extension_chooser`` callback, which scores candidate extensions of the current
+query graph and may terminate the walk early (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dsg.noise import NoiseReport
+from repro.dsg.normalization import NormalizedDatabase
+from repro.dsg.schema_graph import JoinEdge, SchemaGraph
+from repro.errors import GenerationError
+from repro.expr.ast import ColumnRef, Expression, conjoin
+from repro.expr.builder import PredicateBuilder
+from repro.plan.logical import (
+    AggregateFunction,
+    JoinStep,
+    JoinType,
+    QuerySpec,
+    SelectItem,
+    TableRef,
+)
+
+DEFAULT_JOIN_TYPE_WEIGHTS: Dict[JoinType, float] = {
+    JoinType.INNER: 0.40,
+    JoinType.LEFT_OUTER: 0.16,
+    JoinType.RIGHT_OUTER: 0.08,
+    JoinType.FULL_OUTER: 0.04,
+    JoinType.SEMI: 0.14,
+    JoinType.ANTI: 0.12,
+    JoinType.CROSS: 0.06,
+}
+
+
+@dataclass(frozen=True)
+class CandidateExtension:
+    """One possible next step of the random walk."""
+
+    anchor: str
+    new_table: str
+    column: Optional[str]
+    join_type: JoinType
+
+
+@dataclass
+class GenerationConfig:
+    """Knobs of the query generator."""
+
+    min_joins: int = 1
+    max_joins: int = 4
+    filter_probability: float = 0.45
+    aggregate_probability: float = 0.08
+    max_projections: int = 4
+    allow_cross: bool = True
+    join_type_weights: Dict[JoinType, float] = field(
+        default_factory=lambda: dict(DEFAULT_JOIN_TYPE_WEIGHTS)
+    )
+
+
+ExtensionChooser = Callable[
+    [TableRef, List[JoinStep], List[CandidateExtension]], Optional[CandidateExtension]
+]
+
+
+class RandomWalkQueryGenerator:
+    """Generates multi-table join queries by random walk on the schema graph."""
+
+    def __init__(
+        self,
+        ndb: NormalizedDatabase,
+        noise_report: Optional[NoiseReport] = None,
+        rng: Optional[random.Random] = None,
+        config: Optional[GenerationConfig] = None,
+    ) -> None:
+        self.ndb = ndb
+        self.noise_report = noise_report
+        self.rng = rng or random.Random(23)
+        self.config = config or GenerationConfig()
+        self.graph = SchemaGraph(ndb.schema)
+        self._predicates = PredicateBuilder(self.rng)
+        if not self.graph.join_edges:
+            raise GenerationError("schema graph has no join edges; nothing to generate")
+
+    # ------------------------------------------------------------------ helpers
+
+    def _noisy_tables(self) -> Set[str]:
+        if self.noise_report is None:
+            return set()
+        return set(self.noise_report.touched_tables) | set(
+            self.noise_report.augmented_tables
+        )
+
+    def _allowed_join_types(self, direction: str, is_first_step: bool,
+                            anchor: str, new_table: str) -> List[JoinType]:
+        allowed = [JoinType.INNER]
+        if direction == "to_parent":
+            allowed.extend([JoinType.LEFT_OUTER, JoinType.SEMI, JoinType.ANTI])
+        elif is_first_step:
+            allowed.append(JoinType.RIGHT_OUTER)
+        if is_first_step and not ({anchor, new_table} & self._noisy_tables()):
+            allowed.append(JoinType.FULL_OUTER)
+        if self.config.allow_cross:
+            allowed.append(JoinType.CROSS)
+        return allowed
+
+    def _candidates(self, used: Set[str], exposed: Set[str],
+                    is_first_step: bool) -> List[CandidateExtension]:
+        candidates: List[CandidateExtension] = []
+        for anchor, edge in self.graph.edges_from_set(used):
+            if anchor not in exposed:
+                continue
+            new_table = edge.other(anchor)
+            direction = edge.direction_from(anchor)
+            for join_type in self._allowed_join_types(direction, is_first_step,
+                                                      anchor, new_table):
+                column = None if join_type is JoinType.CROSS else edge.column
+                candidates.append(
+                    CandidateExtension(anchor, new_table, column, join_type)
+                )
+        return candidates
+
+    def _default_chooser(self, base: TableRef, steps: List[JoinStep],
+                         candidates: List[CandidateExtension]) -> Optional[CandidateExtension]:
+        weights = [
+            max(1e-6, self.config.join_type_weights.get(candidate.join_type, 0.05))
+            for candidate in candidates
+        ]
+        return self.rng.choices(candidates, weights=weights, k=1)[0]
+
+    # ---------------------------------------------------------------- assembly
+
+    def _build_step(self, candidate: CandidateExtension) -> JoinStep:
+        table_ref = TableRef(candidate.new_table, candidate.new_table)
+        if candidate.join_type is JoinType.CROSS:
+            return JoinStep(table_ref, JoinType.CROSS)
+        return JoinStep(
+            table_ref,
+            candidate.join_type,
+            left_key=ColumnRef(candidate.anchor, candidate.column),
+            right_key=ColumnRef(candidate.new_table, candidate.column),
+        )
+
+    def _column_pool(self, exposed: Sequence[str]) -> List[Tuple[str, str]]:
+        pool: List[Tuple[str, str]] = []
+        for table in exposed:
+            for column in self.ndb.data_columns(table):
+                pool.append((table, column))
+        return pool
+
+    def _build_filters(self, exposed: Sequence[str]) -> Optional[Expression]:
+        predicates: List[Expression] = []
+        for table, column in self._column_pool(exposed):
+            if self.rng.random() >= self.config.filter_probability / max(
+                1, len(self.ndb.data_columns(table))
+            ):
+                continue
+            column_def = self.ndb.schema.table(table).column(column)
+            observed = self.ndb.database.table(table).distinct_values(column)
+            predicates.append(self._predicates.build(table, column_def, observed))
+            if len(predicates) >= 2:
+                break
+        return conjoin(predicates)
+
+    def _build_select(self, exposed: Sequence[str],
+                      allow_aggregates: bool = True) -> Tuple[List[SelectItem], List[ColumnRef]]:
+        pool = self._column_pool(exposed)
+        self.rng.shuffle(pool)
+        count = min(len(pool), self.rng.randint(1, self.config.max_projections))
+        chosen = pool[:count]
+        if (allow_aggregates and len(chosen) >= 2
+                and self.rng.random() < self.config.aggregate_probability):
+            group_columns = [ColumnRef(t, c) for t, c in chosen[:-1]]
+            target_table, target_column = chosen[-1]
+            aggregate = self.rng.choice(
+                [AggregateFunction.COUNT, AggregateFunction.MIN, AggregateFunction.MAX]
+            )
+            select = [SelectItem(ref) for ref in group_columns]
+            select.append(
+                SelectItem(ColumnRef(target_table, target_column), aggregate=aggregate)
+            )
+            return select, group_columns
+        return [SelectItem(ColumnRef(t, c)) for t, c in chosen], []
+
+    # ------------------------------------------------------------------ public
+
+    def generate(
+        self,
+        start_table: Optional[str] = None,
+        walk_length: Optional[int] = None,
+        extension_chooser: Optional[ExtensionChooser] = None,
+    ) -> QuerySpec:
+        """Generate one join query.
+
+        Parameters
+        ----------
+        start_table:
+            Table vertex to start the walk from (random when omitted).
+        walk_length:
+            Maximum number of join steps (random in ``[min_joins, max_joins]``
+            when omitted).
+        extension_chooser:
+            KQE's adaptive chooser; receives the base table, the steps so far and
+            the candidate extensions, returns the chosen extension or ``None`` to
+            terminate the walk early.
+        """
+        tables = self.graph.table_names
+        base_table = start_table or self.rng.choice(tables)
+        if base_table not in tables:
+            raise GenerationError(f"unknown start table {base_table!r}")
+        chooser = extension_chooser or self._default_chooser
+        length = walk_length if walk_length is not None else self.rng.randint(
+            self.config.min_joins, self.config.max_joins
+        )
+        length = max(1, length)
+        base = TableRef(base_table, base_table)
+        used: Set[str] = {base_table}
+        exposed: Set[str] = {base_table}
+        steps: List[JoinStep] = []
+        for step_index in range(length):
+            candidates = self._candidates(used, exposed, is_first_step=step_index == 0)
+            if not candidates:
+                break
+            candidate = chooser(base, steps, candidates)
+            if candidate is None:
+                break
+            step = self._build_step(candidate)
+            steps.append(step)
+            used.add(candidate.new_table)
+            if candidate.join_type.exposes_right_columns:
+                exposed.add(candidate.new_table)
+            if candidate.join_type in (JoinType.RIGHT_OUTER, JoinType.FULL_OUTER):
+                # Right/full outer joins preserve the newly joined side; further
+                # join steps over an already-filtered accumulation would break
+                # the bitmap ground truth, so they terminate the walk.
+                break
+        if not steps:
+            raise GenerationError(
+                f"random walk from {base_table!r} could not produce any join step"
+            )
+        exposed_order = [base_table] + [
+            step.table.table for step in steps if step.join_type.exposes_right_columns
+        ]
+        # Cross joins are verified as subsets (Table 2), which is incompatible
+        # with aggregate values computed over the full cartesian product.
+        has_cross = any(step.join_type is JoinType.CROSS for step in steps)
+        select, group_by = self._build_select(exposed_order,
+                                              allow_aggregates=not has_cross)
+        where = self._build_filters(exposed_order)
+        query = QuerySpec(
+            base=base,
+            joins=steps,
+            select=select,
+            where=where,
+            group_by=group_by,
+            distinct=True,
+        )
+        query.validate()
+        return query
+
+    def generate_many(self, count: int, **kwargs) -> List[QuerySpec]:
+        """Generate several queries (skipping start tables that cannot extend)."""
+        queries: List[QuerySpec] = []
+        attempts = 0
+        while len(queries) < count and attempts < count * 10:
+            attempts += 1
+            try:
+                queries.append(self.generate(**kwargs))
+            except GenerationError:
+                continue
+        return queries

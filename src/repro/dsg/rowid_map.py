@@ -1,0 +1,72 @@
+"""The RowID map table (paper §3.1, Figure 4(a)).
+
+For each wide-table row the map records which row of each schema table that wide
+row was split into (or ``None`` when the wide row contributes nothing to a table,
+e.g. after noise injection).  The inverse direction — all wide rows produced by a
+given table row — is what the noise synchronizer needs (``RowMap(T_i, row_j)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class RowIDMap:
+    """Mapping wide-row id -> {table name: table row id or None}."""
+
+    def __init__(self, table_names: Sequence[str]) -> None:
+        self.table_names = list(table_names)
+        self._rows: List[Dict[str, Optional[int]]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def add_wide_row(self, mapping: Optional[Dict[str, Optional[int]]] = None) -> int:
+        """Register a new wide row; returns its RowID."""
+        entry = {name: None for name in self.table_names}
+        if mapping:
+            for name, row_id in mapping.items():
+                if name not in entry:
+                    raise KeyError(f"unknown table {name!r} in RowID map entry")
+                entry[name] = row_id
+        self._rows.append(entry)
+        return len(self._rows) - 1
+
+    def get(self, wide_row: int, table: str) -> Optional[int]:
+        """Table row id that wide row *wide_row* maps to in *table* (or None)."""
+        return self._rows[wide_row][table]
+
+    def set(self, wide_row: int, table: str, row_id: Optional[int]) -> None:
+        """Update one mapping cell (noise synchronization)."""
+        if table not in self._rows[wide_row]:
+            raise KeyError(f"unknown table {table!r} in RowID map")
+        self._rows[wide_row][table] = row_id
+
+    def entry(self, wide_row: int) -> Dict[str, Optional[int]]:
+        """The full mapping of one wide row."""
+        return dict(self._rows[wide_row])
+
+    def wide_rows_of(self, table: str, row_id: int) -> List[int]:
+        """All wide rows that were split to create row *row_id* of *table*.
+
+        This is the ``RowMap(T_i, row_j)`` lookup of the Case 1 / Case 2 noise
+        synchronization rules.
+        """
+        return [
+            wide_row
+            for wide_row, entry in enumerate(self._rows)
+            if entry.get(table) == row_id
+        ]
+
+    def tables_mapped(self, wide_row: int) -> List[str]:
+        """Tables that wide row *wide_row* contributes a row to."""
+        return [name for name, row_id in self._rows[wide_row].items() if row_id is not None]
+
+    def copy(self) -> "RowIDMap":
+        """Deep copy."""
+        clone = RowIDMap(self.table_names)
+        clone._rows = [dict(entry) for entry in self._rows]
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"RowIDMap(tables={self.table_names}, wide_rows={len(self)})"

@@ -1,0 +1,122 @@
+"""The wide table: the single denormalized relation DSG starts from (paper §3.1).
+
+A :class:`WideTable` is the dataset ``d`` of Algorithm 1 viewed as one relation.
+Every row has an implicit ``RowID`` equal to its position; the ground-truth oracle
+recovers join results by selecting wide rows through the join bitmap index and
+re-evaluating filters/projections against them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.column import Column
+from repro.errors import SchemaError
+from repro.sqlvalue.values import NULL, is_null, null_if_none
+
+WideRow = Dict[str, Any]
+
+
+class WideTable:
+    """A denormalized table with named, typed columns."""
+
+    def __init__(self, columns: Sequence[Column], rows: Optional[Iterable[Mapping[str, Any]]] = None,
+                 name: str = "wide") -> None:
+        if not columns:
+            raise SchemaError("a wide table needs at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name = {column.name: column for column in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError("duplicate column names in wide table")
+        self._rows: List[WideRow] = []
+        if rows is not None:
+            for row in rows:
+                self.append(row)
+
+    # ------------------------------------------------------------------- basics
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """All column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Column definition by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"wide table has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """True when *name* is a wide-table column."""
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[WideRow]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> List[WideRow]:
+        """All rows (mutable list, used by the noise synchronizer)."""
+        return self._rows
+
+    def row(self, row_id: int) -> WideRow:
+        """Row by its RowID (position)."""
+        return self._rows[row_id]
+
+    # ---------------------------------------------------------------- mutation
+
+    def append(self, row: Mapping[str, Any]) -> int:
+        """Append a row (missing columns become NULL) and return its RowID."""
+        stored: WideRow = {}
+        for column in self.columns:
+            stored[column.name] = null_if_none(row.get(column.name, NULL))
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise SchemaError(f"unknown wide-table columns {sorted(unknown)}")
+        self._rows.append(stored)
+        return len(self._rows) - 1
+
+    def set_cell(self, row_id: int, column: str, value: Any) -> None:
+        """Overwrite one cell (noise synchronization)."""
+        if column not in self._by_name:
+            raise SchemaError(f"wide table has no column {column!r}")
+        self._rows[row_id][column] = null_if_none(value)
+
+    # ------------------------------------------------------------------ queries
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column in RowID order."""
+        self.column(column)
+        return [row[column] for row in self._rows]
+
+    def distinct_values(self, column: str) -> List[Any]:
+        """Distinct non-NULL values of a column."""
+        seen: List[Any] = []
+        keys = set()
+        for value in self.column_values(column):
+            if is_null(value):
+                continue
+            key = (type(value).__name__, str(value))
+            if key not in keys:
+                keys.add(key)
+                seen.append(value)
+        return seen
+
+    def projection(self, columns: Sequence[str], row_ids: Optional[Iterable[int]] = None
+                   ) -> List[Tuple[Any, ...]]:
+        """Project (a subset of) rows onto *columns*."""
+        ids = range(len(self._rows)) if row_ids is None else row_ids
+        return [tuple(self._rows[i][c] for c in columns) for i in ids]
+
+    def copy(self) -> "WideTable":
+        """Deep-enough copy (rows copied, column objects shared)."""
+        clone = WideTable(self.columns, name=self.name)
+        clone._rows = [dict(row) for row in self._rows]
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"WideTable({self.name!r}, columns={len(self.columns)}, rows={len(self)})"

@@ -1,0 +1,420 @@
+"""The four simulated DBMS dialects and their seeded bug profiles (Table 4).
+
+Each :class:`DialectProfile` bundles the metadata the paper reports in Table 3
+(popularity, LOC, first release) with the list of seeded :class:`BugSpec` objects
+that stand in for the real optimizer bugs TQS found in that system.  The bug ids,
+severities, statuses and descriptions follow Table 4 row by row; the trigger
+conditions follow the bug listings quoted in §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.faults import (
+    ActiveFaults,
+    BugSpec,
+    FaultTrigger,
+    HASH_BASED_ALGORITHMS,
+    SCAN_BASED_ALGORITHMS,
+)
+from repro.plan.logical import JoinType
+from repro.plan.physical import JoinAlgorithm
+from repro.sqlvalue.datatypes import TypeCategory
+
+OUTER_JOINS = frozenset(
+    {JoinType.LEFT_OUTER, JoinType.RIGHT_OUTER, JoinType.FULL_OUTER}
+)
+NUMERIC_DOMAINS = frozenset(
+    {TypeCategory.FLOAT, TypeCategory.DECIMAL, TypeCategory.INTEGER}
+)
+
+
+@dataclass(frozen=True)
+class DialectProfile:
+    """Static description of one simulated DBMS."""
+
+    name: str
+    version: str
+    db_engines_rank: Optional[int]
+    stack_overflow_rank: Optional[int]
+    github_stars_thousands: Optional[float]
+    loc_millions: float
+    first_release: int
+    bugs: Tuple[BugSpec, ...]
+
+    def active_faults(self) -> ActiveFaults:
+        """Build a fresh fault-injection hook set for this dialect."""
+        return ActiveFaults(self.bugs)
+
+    @property
+    def bug_type_count(self) -> int:
+        """Number of seeded bug types (Table 4 'types of bugs')."""
+        return len(self.bugs)
+
+
+# --------------------------------------------------------------------- SimMySQL
+
+_MYSQL_BUGS = (
+    BugSpec(
+        bug_id=1,
+        dbms="SimMySQL",
+        seam="flag",
+        behavior="semijoin_ignore_join_key",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.SEMI}),
+            require_materialization=True,
+            require_semijoin_transform=True,
+        ),
+        severity="S1 (Critical)",
+        status="Fixed",
+        description="Semi-join gives wrong results: the correlated equality is "
+        "neither pushed down for materialization nor evaluated as part of the "
+        "semi-join.",
+    ),
+    BugSpec(
+        bug_id=2,
+        dbms="SimMySQL",
+        seam="join_key",
+        behavior="distinguish_negative_zero",
+        trigger=FaultTrigger(
+            algorithms=HASH_BASED_ALGORITHMS,
+            join_types=frozenset({JoinType.INNER, JoinType.SEMI}),
+            key_domains=frozenset({TypeCategory.FLOAT, TypeCategory.DECIMAL}),
+        ),
+        severity="S2 (Serious)",
+        status="Fixed",
+        description="Incorrect inner hash join when using materialization "
+        "strategy: the hash table asserts that 0 and -0 are not equal.",
+    ),
+    BugSpec(
+        bug_id=3,
+        dbms="SimMySQL",
+        seam="join_key",
+        behavior="cast_varchar_to_double",
+        trigger=FaultTrigger(
+            algorithms=HASH_BASED_ALGORITHMS,
+            join_types=frozenset({JoinType.SEMI}),
+            key_domains=frozenset({TypeCategory.DECIMAL}),
+        ),
+        severity="S2 (Serious)",
+        status="Verified",
+        description="Incorrect semi-join execution results in unknown data: "
+        "varchar keys are converted to double, losing precision.",
+    ),
+    BugSpec(
+        bug_id=4,
+        dbms="SimMySQL",
+        seam="flag",
+        behavior="left_outer_emit_spurious_null_row",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.HASH, JoinAlgorithm.BLOCK_NESTED_LOOP_HASH}),
+            join_types=frozenset({JoinType.LEFT_OUTER}),
+        ),
+        severity="S2 (Serious)",
+        status="Verified",
+        description="Incorrect left hash join with subquery in condition: an "
+        "additional NULL row is returned.",
+    ),
+    BugSpec(
+        bug_id=5,
+        dbms="SimMySQL",
+        seam="flag",
+        behavior="antijoin_drop_null_key_rows",
+        trigger=FaultTrigger(
+            algorithms=SCAN_BASED_ALGORITHMS,
+            join_types=frozenset({JoinType.ANTI}),
+            require_materialization=True,
+        ),
+        severity="S2 (Serious)",
+        status="Verified",
+        description="Incorrect nested loop antijoin when using materialization "
+        "strategy: NULL-key outer rows are dropped.",
+    ),
+    BugSpec(
+        bug_id=6,
+        dbms="SimMySQL",
+        seam="join_key",
+        behavior="round_decimal_constants",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.INNER}),
+            key_domains=frozenset({TypeCategory.DECIMAL}),
+        ),
+        severity="S2 (Serious)",
+        status="Fixed",
+        description="Bad caching of converted constants in NULL-safe comparison: "
+        "decimal join keys are rounded to integers in every plan (only the "
+        "ground-truth oracle can reveal it).",
+    ),
+    BugSpec(
+        bug_id=7,
+        dbms="SimMySQL",
+        seam="flag",
+        behavior="hash_join_drop_duplicate_build_keys",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.HASH}),
+            join_types=frozenset({JoinType.INNER}),
+            key_domains=frozenset({TypeCategory.STRING}),
+        ),
+        severity="S2 (Serious)",
+        status="Verified",
+        description="Incorrect hash join with materialized subquery: duplicate "
+        "build-side keys are collapsed and matching rows go missing.",
+    ),
+)
+
+
+# -------------------------------------------------------------------- SimMariaDB
+
+_MARIADB_BUGS = (
+    BugSpec(
+        bug_id=8,
+        dbms="SimMariaDB",
+        seam="flag",
+        behavior="right_outer_join_as_inner",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.RIGHT_OUTER}),
+            requires_disabled_switches=frozenset({"join_cache_bka"}),
+        ),
+        severity="Major",
+        status="Verified",
+        description="Incorrect join execution by not allowing BKA and BKAH join "
+        "algorithms: unmatched rows of the preserved side disappear.",
+    ),
+    BugSpec(
+        bug_id=9,
+        dbms="SimMariaDB",
+        seam="null_pad",
+        behavior="empty_string",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.BLOCK_NESTED_LOOP_HASH}),
+            join_types=OUTER_JOINS,
+        ),
+        severity="Major",
+        status="Verified",
+        description="Incorrect join execution by not allowing BNLH and BKAH join "
+        "algorithms: NULL padding is mistakenly changed to an empty string.",
+    ),
+    BugSpec(
+        bug_id=10,
+        dbms="SimMariaDB",
+        seam="flag",
+        behavior="outer_join_drop_matched_rows",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.LEFT_OUTER, JoinType.RIGHT_OUTER}),
+            requires_disabled_switches=frozenset({"outer_join_with_cache"}),
+        ),
+        severity="Major",
+        status="Verified",
+        description="Incorrect join execution when controlling outer join "
+        "operations: matched rows are lost when the outer-join cache is disabled.",
+    ),
+    BugSpec(
+        bug_id=11,
+        dbms="SimMariaDB",
+        seam="flag",
+        behavior="hash_join_drop_duplicate_build_keys",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.INNER, JoinType.LEFT_OUTER}),
+            max_join_cache_level=2,
+        ),
+        severity="Major",
+        status="Verified",
+        description="Incorrect join execution by limiting the usage of the join "
+        "buffers: rows sharing a build key are deduplicated by mistake.",
+    ),
+    BugSpec(
+        bug_id=12,
+        dbms="SimMariaDB",
+        seam="null_pad",
+        behavior="empty_string",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.RIGHT_OUTER, JoinType.LEFT_OUTER}),
+            requires_disabled_switches=frozenset({"join_cache_hashed"}),
+        ),
+        severity="Major",
+        status="Verified",
+        description="Incorrect join execution when controlling join cache: "
+        "with join_cache_hashed=off the NULL padding becomes an empty string.",
+    ),
+)
+
+
+# ----------------------------------------------------------------------- SimTiDB
+
+_TIDB_BUGS = (
+    BugSpec(
+        bug_id=13,
+        dbms="SimTiDB",
+        seam="flag",
+        behavior="merge_join_drop_last_duplicate",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.SORT_MERGE}),
+            join_types=frozenset({JoinType.INNER}),
+        ),
+        severity="Critical",
+        status="Fixed",
+        description="Incorrect merge join execution when transforming hash join "
+        "to merge join: the last duplicate of each key group is skipped.",
+    ),
+    BugSpec(
+        bug_id=14,
+        dbms="SimTiDB",
+        seam="join_key",
+        behavior="distinguish_negative_zero",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.SORT_MERGE}),
+            key_domains=frozenset({TypeCategory.FLOAT, TypeCategory.DECIMAL}),
+        ),
+        severity="Critical",
+        status="Fixed",
+        description="Merge join executed incorrect result set which missed -0.",
+    ),
+    BugSpec(
+        bug_id=15,
+        dbms="SimTiDB",
+        seam="flag",
+        behavior="merge_join_empty_result",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.SORT_MERGE}),
+            join_types=frozenset({JoinType.SEMI}),
+        ),
+        severity="Critical",
+        status="Fixed",
+        description="Merge join executed an incorrect result set which returned "
+        "an empty result set.",
+    ),
+    BugSpec(
+        bug_id=16,
+        dbms="SimTiDB",
+        seam="flag",
+        behavior="outer_join_drop_matched_rows",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.SORT_MERGE}),
+            join_types=frozenset({JoinType.RIGHT_OUTER}),
+        ),
+        severity="Critical",
+        status="Fixed",
+        description="Merge join executed an incorrect result set which returned "
+        "NULL: the outer merge join cannot keep the prop of its inner child.",
+    ),
+    BugSpec(
+        bug_id=17,
+        dbms="SimTiDB",
+        seam="flag",
+        behavior="merge_join_drop_last_duplicate",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.SORT_MERGE}),
+            join_types=frozenset({JoinType.LEFT_OUTER}),
+        ),
+        severity="Critical",
+        status="Fixed",
+        description="Merge join executed an incorrect result set which missed rows.",
+    ),
+)
+
+
+# ------------------------------------------------------------------------ SimXDB
+
+_XDB_BUGS = (
+    BugSpec(
+        bug_id=18,
+        dbms="SimXDB",
+        seam="flag",
+        behavior="left_outer_join_as_inner",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.LEFT_OUTER}),
+        ),
+        severity="2 (High)",
+        status="Fixed",
+        description="Left join convert to inner join returns wrong result sets: "
+        "the rewrite fires in every plan, so only the ground truth reveals it.",
+    ),
+    BugSpec(
+        bug_id=19,
+        dbms="SimXDB",
+        seam="join_key",
+        behavior="cast_varchar_to_double",
+        trigger=FaultTrigger(
+            algorithms=frozenset({JoinAlgorithm.HASH, JoinAlgorithm.BLOCK_NESTED_LOOP_HASH}),
+            join_types=frozenset({JoinType.INNER, JoinType.RIGHT_OUTER}),
+            key_domains=frozenset({TypeCategory.DECIMAL}),
+        ),
+        severity="2 (High)",
+        status="Fixed",
+        description="Hash join returns wrong result sets: join keys are compared "
+        "in the double domain, losing precision.",
+    ),
+    BugSpec(
+        bug_id=20,
+        dbms="SimXDB",
+        seam="flag",
+        behavior="semijoin_ignore_join_key",
+        trigger=FaultTrigger(
+            join_types=frozenset({JoinType.SEMI}),
+            require_materialization=False,
+        ),
+        severity="2 (High)",
+        status="Verified",
+        description="Incorrect semi-join with materialize execution: the inner "
+        "semi hash join without materialization returns extra rows.",
+    ),
+)
+
+
+# --------------------------------------------------------------------- profiles
+
+SIM_MYSQL = DialectProfile(
+    name="SimMySQL",
+    version="8.0.28",
+    db_engines_rank=2,
+    stack_overflow_rank=1,
+    github_stars_thousands=8.0,
+    loc_millions=3.8,
+    first_release=1995,
+    bugs=_MYSQL_BUGS,
+)
+
+SIM_MARIADB = DialectProfile(
+    name="SimMariaDB",
+    version="10.8.2",
+    db_engines_rank=12,
+    stack_overflow_rank=7,
+    github_stars_thousands=4.3,
+    loc_millions=3.6,
+    first_release=2009,
+    bugs=_MARIADB_BUGS,
+)
+
+SIM_TIDB = DialectProfile(
+    name="SimTiDB",
+    version="5.4.0",
+    db_engines_rank=96,
+    stack_overflow_rank=None,
+    github_stars_thousands=31.8,
+    loc_millions=0.8,
+    first_release=2017,
+    bugs=_TIDB_BUGS,
+)
+
+SIM_XDB = DialectProfile(
+    name="SimXDB",
+    version="beta 8.0.18",
+    db_engines_rank=None,
+    stack_overflow_rank=None,
+    github_stars_thousands=None,
+    loc_millions=3.9,
+    first_release=2019,
+    bugs=_XDB_BUGS,
+)
+
+ALL_DIALECTS: Tuple[DialectProfile, ...] = (SIM_MYSQL, SIM_MARIADB, SIM_TIDB, SIM_XDB)
+
+
+def dialect_by_name(name: str) -> DialectProfile:
+    """Look up a dialect profile by (case-insensitive) name."""
+    for profile in ALL_DIALECTS:
+        if profile.name.lower() == name.lower():
+            return profile
+    raise KeyError(f"unknown dialect {name!r}; available: {[p.name for p in ALL_DIALECTS]}")

@@ -1,0 +1,107 @@
+"""The public engine facade: execute logical queries under hints against a database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.dialects import DialectProfile
+from repro.engine.faults import ActiveFaults
+from repro.engine.resultset import ResultSet
+from repro.optimizer.hints import HintSet, default_hints
+from repro.optimizer.planner import Planner
+from repro.plan.logical import QuerySpec
+from repro.plan.physical import ExecutionHooks, PhysicalOperator
+from repro.storage.database import Database
+
+
+@dataclass
+class ExecutionReport:
+    """Result of one query execution, with diagnostic metadata."""
+
+    result: ResultSet
+    hints: HintSet
+    plan_description: str
+    fired_bug_ids: Tuple[int, ...]
+
+
+class Engine:
+    """A simulated DBMS instance bound to one database.
+
+    A clean engine (no dialect) behaves correctly; an engine built from a
+    :class:`~repro.engine.dialects.DialectProfile` carries that dialect's seeded
+    bug profile and can return incorrect result sets under the trigger
+    conditions of those bugs -- exactly the behaviour TQS is designed to detect.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        dialect: Optional[DialectProfile] = None,
+        hooks: Optional[ExecutionHooks] = None,
+    ) -> None:
+        self.database = database
+        self.dialect = dialect
+        if hooks is not None:
+            self.hooks = hooks
+        elif dialect is not None:
+            self.hooks = dialect.active_faults()
+        else:
+            self.hooks = ExecutionHooks()
+        self.planner = Planner(database, self.hooks)
+        self.queries_executed = 0
+
+    # ------------------------------------------------------------------ naming
+
+    @property
+    def name(self) -> str:
+        """Engine display name."""
+        if self.dialect is None:
+            return "ReferenceEngine"
+        return f"{self.dialect.name} {self.dialect.version}"
+
+    # --------------------------------------------------------------- execution
+
+    def plan(self, query: QuerySpec, hints: Optional[HintSet] = None) -> PhysicalOperator:
+        """Build the physical plan without executing it (EXPLAIN)."""
+        return self.planner.plan(query, hints or default_hints())
+
+    def explain(self, query: QuerySpec, hints: Optional[HintSet] = None) -> str:
+        """Return a textual plan description."""
+        return self.plan(query, hints).explain()
+
+    def execute(self, query: QuerySpec, hints: Optional[HintSet] = None) -> ResultSet:
+        """Execute *query* under *hints* and return its result set."""
+        return self.execute_with_report(query, hints).result
+
+    def execute_with_report(
+        self, query: QuerySpec, hints: Optional[HintSet] = None
+    ) -> ExecutionReport:
+        """Execute and also report the plan and which seeded bugs fired."""
+        hints = hints or default_hints()
+        if isinstance(self.hooks, ActiveFaults):
+            self.hooks.reset_fired()
+        operator = self.planner.plan(query, hints)
+        names = operator.output_columns()
+        rows = [tuple(row[name] for name in names) for row in operator.rows()]
+        self.queries_executed += 1
+        fired: Tuple[int, ...] = ()
+        if isinstance(self.hooks, ActiveFaults):
+            fired = tuple(sorted(self.hooks.fired))
+        return ExecutionReport(
+            result=ResultSet(names, rows),
+            hints=hints,
+            plan_description=operator.explain(),
+            fired_bug_ids=fired,
+        )
+
+    def execute_all_hints(
+        self, query: QuerySpec, hint_sets: Sequence[HintSet]
+    ) -> List[ExecutionReport]:
+        """Execute the same logical query under every hint set (the trans_q step)."""
+        return [self.execute_with_report(query, hints) for hints in hint_sets]
+
+
+def reference_engine(database: Database) -> Engine:
+    """A bug-free engine over *database* (used by tests and the NoRec baseline)."""
+    return Engine(database, dialect=None, hooks=ExecutionHooks())

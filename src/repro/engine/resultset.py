@@ -1,0 +1,68 @@
+"""Result sets returned by the simulated engines."""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.sqlvalue.values import NULL, is_null, normalize_row, row_sort_key
+
+
+class ResultSet:
+    """An executed query's output: column names plus rows.
+
+    Rows are stored in the order the engine produced them, but comparisons are
+    order-insensitive and (by design of the DSG oracle) duplicate-insensitive:
+    the generated queries are DISTINCT projections, so two result sets are
+    considered equal when their sets of normalized rows coincide.
+    """
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.rows: List[Tuple[Any, ...]] = [tuple(row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def is_empty(self) -> bool:
+        """True when the result has no rows."""
+        return not self.rows
+
+    def normalized(self) -> FrozenSet[Tuple[Any, ...]]:
+        """The set of normalized rows used for comparisons."""
+        return frozenset(normalize_row(row) for row in self.rows)
+
+    def sorted_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows sorted into a deterministic order (for display and snapshots)."""
+        return sorted(self.rows, key=row_sort_key)
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one output column."""
+        index = self.columns.index(column)
+        return [row[index] for row in self.rows]
+
+    def same_rows(self, other: "ResultSet") -> bool:
+        """Set equality of normalized rows."""
+        return self.normalized() == other.normalized()
+
+    def contains_all(self, other: "ResultSet") -> bool:
+        """True when every row of *other* appears in this result set."""
+        return other.normalized() <= self.normalized()
+
+    def render(self, max_rows: int = 20) -> str:
+        """Pretty-print the result set as an ASCII table."""
+        header = " | ".join(self.columns)
+        separator = "-+-".join("-" * len(name) for name in self.columns)
+        lines = [header, separator]
+        for row in self.sorted_rows()[:max_rows]:
+            lines.append(" | ".join("NULL" if is_null(v) else str(v) for v in row))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        if not self.rows:
+            lines.append("(empty set)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"ResultSet(columns={list(self.columns)}, rows={len(self.rows)})"

@@ -1,0 +1,92 @@
+"""Helpers for building random (but type-correct) filter predicates.
+
+The DSG query generator delegates predicate construction here: given a column and
+a pool of values observed in the data, produce a comparison that will actually be
+selective (RAGS / SQLSmith style), rather than a random constant that matches
+nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence
+
+from repro.catalog.column import Column
+from repro.expr.ast import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+)
+from repro.sqlvalue.datatypes import TypeCategory
+from repro.sqlvalue.values import is_null
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+_EQUALITY_OPS = ("=", "<>")
+
+
+class PredicateBuilder:
+    """Builds random single-column predicates from observed column values."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+
+    def build(
+        self,
+        table_alias: str,
+        column: Column,
+        observed_values: Sequence[Any],
+    ) -> Expression:
+        """Build a predicate on ``table_alias.column``.
+
+        The predicate kind is chosen among equality, inequality, range, BETWEEN,
+        IN-list and IS [NOT] NULL, weighted towards equality because equality
+        filters compose best with the bitmap ground-truth oracle.
+        """
+        ref = ColumnRef(table_alias, column.name)
+        values = [v for v in observed_values if not is_null(v)]
+        if not values:
+            return IsNull(ref, negated=self._rng.random() < 0.5)
+        choice = self._rng.random()
+        if choice < 0.40:
+            return Comparison(
+                self._rng.choice(_EQUALITY_OPS), ref, Literal(self._rng.choice(values))
+            )
+        if choice < 0.65 and column.dtype.category in (
+            TypeCategory.INTEGER,
+            TypeCategory.DECIMAL,
+            TypeCategory.FLOAT,
+        ):
+            return Comparison(
+                self._rng.choice(_RANGE_OPS), ref, Literal(self._rng.choice(values))
+            )
+        if choice < 0.80:
+            low, high = self._pick_range(values)
+            return Between(ref, Literal(low), Literal(high))
+        if choice < 0.92:
+            count = min(len(values), self._rng.randint(1, 4))
+            picked = self._rng.sample(values, count)
+            return InList(ref, tuple(Literal(v) for v in picked),
+                          negated=self._rng.random() < 0.25)
+        return IsNull(ref, negated=self._rng.random() < 0.5)
+
+    def _pick_range(self, values: Sequence[Any]) -> tuple:
+        """Pick a (low, high) pair, ordered when the values are orderable."""
+        first = self._rng.choice(values)
+        second = self._rng.choice(values)
+        try:
+            low, high = (first, second) if first <= second else (second, first)
+        except TypeError:
+            low, high = first, second
+        return low, high
+
+
+def comparable_constant(values: Sequence[Any], rng: random.Random) -> Any:
+    """Pick a constant from observed values, falling back to 0 when empty."""
+    usable = [v for v in values if not is_null(v)]
+    if not usable:
+        return 0
+    return rng.choice(usable)

@@ -1,0 +1,25 @@
+"""KQE: Knowledge-guided Query space Exploration (paper §4)."""
+
+from repro.kqe.embedding import GraphEmbedder, cosine_similarity
+from repro.kqe.explorer import KQE, KQEConfig, alias_sample
+from repro.kqe.graph_index import GraphIndex
+from repro.kqe.isomorphism import (
+    IsomorphicSetCounter,
+    are_isomorphic,
+    is_subgraph_isomorphic,
+)
+from repro.kqe.query_graph import QueryGraph, QueryGraphBuilder
+
+__all__ = [
+    "GraphEmbedder",
+    "GraphIndex",
+    "IsomorphicSetCounter",
+    "KQE",
+    "KQEConfig",
+    "QueryGraph",
+    "QueryGraphBuilder",
+    "alias_sample",
+    "are_isomorphic",
+    "cosine_similarity",
+    "is_subgraph_isomorphic",
+]

@@ -1,0 +1,96 @@
+"""The embedding-based graph index GI (paper §4).
+
+The paper uses HD-Index for approximate KNN search over query-graph embeddings.
+With the modest index sizes of a testing campaign (tens of thousands of vectors)
+an exact cosine KNN over a normalized matrix is fast, deterministic and plays the
+same role; a coarse bucket index over the dominant embedding dimension prunes the
+candidate set the way HD-Index's Hilbert-ordered B+-trees do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kqe.embedding import GraphEmbedder, cosine_similarity
+from repro.kqe.query_graph import QueryGraph
+
+
+class GraphIndex:
+    """Approximate-KNN index over query-graph embeddings."""
+
+    def __init__(self, embedder: Optional[GraphEmbedder] = None,
+                 bucket_count: int = 16) -> None:
+        self.embedder = embedder or GraphEmbedder()
+        self.bucket_count = bucket_count
+        self._vectors: List[np.ndarray] = []
+        self._canonical_labels: List[str] = []
+        self._buckets: Dict[int, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    # --------------------------------------------------------------- insertion
+
+    def _bucket_of(self, vector: np.ndarray) -> int:
+        if vector.size == 0 or not np.any(vector):
+            return 0
+        return int(np.argmax(vector)) % self.bucket_count
+
+    def add(self, graph: QueryGraph) -> np.ndarray:
+        """Insert a query graph; returns its embedding."""
+        vector = self.embedder.embed(graph)
+        index = len(self._vectors)
+        self._vectors.append(vector)
+        self._canonical_labels.append(graph.canonical_label())
+        self._buckets.setdefault(self._bucket_of(vector), []).append(index)
+        return vector
+
+    def add_embedding(self, vector: np.ndarray, canonical_label: str = "") -> None:
+        """Insert a pre-computed embedding (used by the parallel-search driver)."""
+        index = len(self._vectors)
+        self._vectors.append(np.asarray(vector, dtype=np.float64))
+        self._canonical_labels.append(canonical_label)
+        self._buckets.setdefault(self._bucket_of(self._vectors[-1]), []).append(index)
+
+    # ------------------------------------------------------------------ search
+
+    def _candidates(self, vector: np.ndarray, approximate: bool) -> Sequence[int]:
+        if not approximate or len(self._vectors) <= 64:
+            return range(len(self._vectors))
+        bucket = self._bucket_of(vector)
+        candidates = list(self._buckets.get(bucket, ()))
+        # Include neighbouring buckets so the pruning stays conservative.
+        for offset in (-1, 1):
+            candidates.extend(self._buckets.get((bucket + offset) % self.bucket_count, ()))
+        return candidates or range(len(self._vectors))
+
+    def nearest(self, graph: QueryGraph, k: int = 5,
+                approximate: bool = True) -> List[Tuple[int, float]]:
+        """K nearest neighbours of *graph* as (index, cosine similarity) pairs."""
+        vector = self.embedder.embed(graph)
+        return self.nearest_by_vector(vector, k=k, approximate=approximate)
+
+    def nearest_by_vector(self, vector: np.ndarray, k: int = 5,
+                          approximate: bool = True) -> List[Tuple[int, float]]:
+        """K nearest neighbours of an embedding vector."""
+        if not self._vectors:
+            return []
+        candidates = self._candidates(vector, approximate)
+        scored = [
+            (index, cosine_similarity(vector, self._vectors[index]))
+            for index in candidates
+        ]
+        scored.sort(key=lambda item: item[1], reverse=True)
+        return scored[:k]
+
+    # -------------------------------------------------------------- statistics
+
+    def distinct_canonical_labels(self) -> int:
+        """Number of distinct isomorphism classes inserted so far."""
+        return len(set(self._canonical_labels))
+
+    def contains_isomorphic(self, graph: QueryGraph) -> bool:
+        """True when an isomorphic graph (same canonical label) was already added."""
+        return graph.canonical_label() in set(self._canonical_labels)

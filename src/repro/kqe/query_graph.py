@@ -1,0 +1,167 @@
+"""Query graphs and the plan-iterative graph (paper §4, Figure 6).
+
+A query graph is the labelled sub-graph of the plan-iterative graph induced by a
+generated query: table vertices labelled ``table``, column vertices labelled with
+their data type, table–table edges labelled with the join type and table–column
+edges labelled with the relational operation applied to the column (join column,
+filter, projection, group by, aggregate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.catalog.schema import DatabaseSchema
+from repro.expr.ast import ColumnRef
+from repro.plan.logical import JoinType, QuerySpec
+
+TABLE_LABEL = "table"
+
+COLUMN_OPERATIONS = ("join column", "filter", "projection", "group by", "aggregate")
+"""Labels of table-column edges in the plan-iterative graph."""
+
+
+def _column_label(schema: DatabaseSchema, table: str, column: str) -> str:
+    """Vertex label of a column: its data type name (paper: label = type)."""
+    return schema.table(table).column(column).dtype.name.value
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """An immutable labelled graph representation of one query."""
+
+    vertices: Tuple[Tuple[str, str], ...]  # (vertex id, label)
+    edges: Tuple[Tuple[str, str, str], ...]  # (vertex id, vertex id, label)
+
+    @property
+    def vertex_labels(self) -> Dict[str, str]:
+        """Mapping vertex id -> label."""
+        return dict(self.vertices)
+
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a networkx graph (used by exact isomorphism checks).
+
+        Several plan-iterative edges can connect the same vertex pair (e.g. a
+        column that is both filtered and projected); they are merged into one
+        edge whose label is the sorted union, so no information is lost in the
+        simple-graph representation.
+        """
+        graph = nx.Graph()
+        for vertex, label in self.vertices:
+            graph.add_node(vertex, label=label)
+        for left, right, label in self.edges:
+            if graph.has_edge(left, right):
+                existing = set(graph.edges[left, right]["label"].split("+"))
+                existing.add(label)
+                graph.edges[left, right]["label"] = "+".join(sorted(existing))
+            else:
+                graph.add_edge(left, right, label=label)
+        return graph
+
+    def size(self) -> Tuple[int, int]:
+        """(vertex count, edge count)."""
+        return len(self.vertices), len(self.edges)
+
+    def canonical_label(self) -> str:
+        """A label string invariant under vertex renaming.
+
+        Uses a Weisfeiler–Lehman style colour refinement over vertex/edge labels;
+        two isomorphic query graphs always share the same canonical label, and
+        collisions between non-isomorphic graphs are rare enough for the
+        isomorphic-set counting of Figure 8.
+        """
+        graph = self.to_networkx()
+        colors = {node: graph.nodes[node]["label"] for node in graph.nodes}
+        for _ in range(3):
+            new_colors = {}
+            for node in graph.nodes:
+                neighbourhood = sorted(
+                    f"{graph.edges[node, other]['label']}|{colors[other]}"
+                    for other in graph.neighbors(node)
+                )
+                new_colors[node] = f"{colors[node]}({','.join(neighbourhood)})"
+            colors = new_colors
+        return "|".join(sorted(colors.values()))
+
+
+class QueryGraphBuilder:
+    """Builds :class:`QueryGraph` objects for generated queries."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+
+    def build(self, query: QuerySpec) -> QueryGraph:
+        """Build the query graph of *query*."""
+        vertices: List[Tuple[str, str]] = []
+        edges: List[Tuple[str, str, str]] = []
+        seen_vertices: Set[str] = set()
+        alias_to_table = {ref.alias: ref.table for ref in query.table_refs}
+
+        def add_vertex(vertex: str, label: str) -> None:
+            if vertex not in seen_vertices:
+                seen_vertices.add(vertex)
+                vertices.append((vertex, label))
+
+        def add_column_edge(alias: str, column: str, label: str) -> None:
+            table = alias_to_table.get(alias)
+            if table is None:
+                return
+            vertex = f"{alias}.{column}"
+            add_vertex(alias, TABLE_LABEL)
+            add_vertex(vertex, _column_label(self.schema, table, column))
+            edge = (alias, vertex, label)
+            if edge not in edges:
+                edges.append(edge)
+
+        for ref in query.table_refs:
+            add_vertex(ref.alias, TABLE_LABEL)
+        for step in query.joins:
+            left_alias = query.base.alias if step.left_key is None else step.left_key.table
+            right_alias = step.table.alias
+            edges.append((left_alias, right_alias, step.join_type.value))
+            if step.left_key is not None:
+                add_column_edge(step.left_key.table, step.left_key.column, "join column")
+                add_column_edge(step.right_key.table, step.right_key.column, "join column")
+        if query.where is not None:
+            for table, column in sorted(query.where.references(), key=str):
+                if table is not None:
+                    add_column_edge(table, column, "filter")
+        for item in query.select:
+            label = "aggregate" if item.aggregate is not None else "projection"
+            for table, column in sorted(item.expression.references(), key=str):
+                if table is not None:
+                    add_column_edge(table, column, label)
+        for ref in query.group_by:
+            if ref.table is not None:
+                add_column_edge(ref.table, ref.column, "group by")
+        return QueryGraph(tuple(vertices), tuple(edges))
+
+    def build_partial(self, base_alias: str, steps: Sequence, extension=None) -> QueryGraph:
+        """Build the graph of a partial walk (used by the adaptive random walk).
+
+        ``steps`` are the join steps chosen so far; ``extension`` is an optional
+        :class:`~repro.dsg.query_gen.CandidateExtension` describing the next edge
+        under consideration.
+        """
+        vertices: List[Tuple[str, str]] = [(base_alias, TABLE_LABEL)]
+        seen = {base_alias}
+        edges: List[Tuple[str, str, str]] = []
+        for step in steps:
+            alias = step.table.alias
+            if alias not in seen:
+                seen.add(alias)
+                vertices.append((alias, TABLE_LABEL))
+            left_alias = step.left_key.table if step.left_key is not None else base_alias
+            if left_alias not in seen:
+                seen.add(left_alias)
+                vertices.append((left_alias, TABLE_LABEL))
+            edges.append((left_alias, alias, step.join_type.value))
+        if extension is not None:
+            if extension.new_table not in seen:
+                seen.add(extension.new_table)
+                vertices.append((extension.new_table, TABLE_LABEL))
+            edges.append((extension.anchor, extension.new_table, extension.join_type.value))
+        return QueryGraph(tuple(vertices), tuple(edges))

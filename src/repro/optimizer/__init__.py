@@ -1,0 +1,45 @@
+"""Hint model, cost model and planner."""
+
+from repro.optimizer.cost import JoinCostInput, choose_algorithm, estimate_cost
+from repro.optimizer.hints import (
+    DEFAULT_SWITCHES,
+    HintSet,
+    bka_join_hints,
+    block_nested_loop_hints,
+    bnlh_join_hints,
+    default_hints,
+    force_algorithm,
+    hash_join_hints,
+    index_join_hints,
+    join_cache_off_hints,
+    join_order_hints,
+    merge_join_hints,
+    nested_loop_hints,
+    no_materialization_hints,
+    no_semijoin_hints,
+    standard_hint_sets,
+)
+from repro.optimizer.planner import Planner
+
+__all__ = [
+    "DEFAULT_SWITCHES",
+    "HintSet",
+    "JoinCostInput",
+    "Planner",
+    "bka_join_hints",
+    "block_nested_loop_hints",
+    "bnlh_join_hints",
+    "choose_algorithm",
+    "default_hints",
+    "estimate_cost",
+    "force_algorithm",
+    "hash_join_hints",
+    "index_join_hints",
+    "join_cache_off_hints",
+    "join_order_hints",
+    "merge_join_hints",
+    "nested_loop_hints",
+    "no_materialization_hints",
+    "no_semijoin_hints",
+    "standard_hint_sets",
+]

@@ -1,0 +1,44 @@
+"""Logical query model and physical operators."""
+
+from repro.plan.joins import EFFECT_NAMES, Join, JoinKeySpec
+from repro.plan.logical import (
+    AggregateFunction,
+    JoinStep,
+    JoinType,
+    OrderItem,
+    QuerySpec,
+    SelectItem,
+    TableRef,
+)
+from repro.plan.operators import Filter, Limit, Materialize, Project, Sort, TableScan
+from repro.plan.physical import (
+    ExecRow,
+    ExecutionHooks,
+    JoinAlgorithm,
+    PhysicalOperator,
+    TriggerContext,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "EFFECT_NAMES",
+    "ExecRow",
+    "ExecutionHooks",
+    "Filter",
+    "Join",
+    "JoinAlgorithm",
+    "JoinKeySpec",
+    "JoinStep",
+    "JoinType",
+    "Limit",
+    "Materialize",
+    "OrderItem",
+    "PhysicalOperator",
+    "Project",
+    "QuerySpec",
+    "SelectItem",
+    "Sort",
+    "TableRef",
+    "TableScan",
+    "TriggerContext",
+]

@@ -1,0 +1,142 @@
+"""Physical plan infrastructure: operator base class, rows, and fault hooks.
+
+Execution rows are dictionaries keyed by qualified column name (``"alias.column"``).
+Every operator is an iterator factory: :meth:`PhysicalOperator.rows` yields output
+rows.  Join operators consult an :class:`ExecutionHooks` object at well-defined
+seams (key normalization, NULL padding, semi/anti matching decisions); the default
+implementation is bug-free and the simulated DBMS dialects override it to inject
+the logic bugs of Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+
+from repro.plan.logical import JoinType
+from repro.sqlvalue.casts import cast_for_domain
+from repro.sqlvalue.comparison import correct_hash_key
+from repro.sqlvalue.datatypes import TypeCategory
+from repro.sqlvalue.values import NULL
+
+ExecRow = Dict[str, Any]
+"""A row during execution: qualified column name -> value."""
+
+
+class JoinAlgorithm(enum.Enum):
+    """Physical join algorithms implemented by the engines.
+
+    These are the algorithms named in the paper's bug listings and hint sets:
+    plain / block nested loop, block nested loop hash (BNLH), batched key access
+    (BKA / BKAH), classic hash join, sort-merge join and index nested loop.
+    """
+
+    NESTED_LOOP = "nested_loop"
+    BLOCK_NESTED_LOOP = "block_nested_loop"
+    BLOCK_NESTED_LOOP_HASH = "block_nested_loop_hash"
+    BATCHED_KEY_ACCESS = "batched_key_access"
+    HASH = "hash"
+    SORT_MERGE = "sort_merge"
+    INDEX_NESTED_LOOP = "index_nested_loop"
+
+    @property
+    def uses_hash_table(self) -> bool:
+        """Algorithms that probe a hash structure rather than comparing values."""
+        return self in (
+            JoinAlgorithm.BLOCK_NESTED_LOOP_HASH,
+            JoinAlgorithm.BATCHED_KEY_ACCESS,
+            JoinAlgorithm.HASH,
+            JoinAlgorithm.INDEX_NESTED_LOOP,
+        )
+
+
+@dataclass(frozen=True)
+class TriggerContext:
+    """Everything a fault needs to decide whether it fires at a given seam.
+
+    Attributes mirror the trigger conditions quoted in the paper's bug reports:
+    which physical algorithm runs, which logical join type, whether subquery
+    materialization / semi-join transformation is active, the comparison domain
+    of the join keys, and whether the step sits below a subquery.
+    """
+
+    algorithm: Optional[JoinAlgorithm] = None
+    join_type: Optional[JoinType] = None
+    key_domain: Optional[TypeCategory] = None
+    materialization: bool = False
+    semijoin_transform: bool = True
+    join_cache_level: int = 8
+    derived_from_subquery: bool = False
+    has_null_keys: bool = False
+    converted_from: Optional[JoinType] = None
+    disabled_switches: frozenset = frozenset()
+
+
+class ExecutionHooks:
+    """Bug-free default implementation of every fault seam.
+
+    The fault-injection layer (:mod:`repro.engine.faults`) subclasses this and
+    overrides individual seams when a seeded bug's trigger condition matches the
+    :class:`TriggerContext`.
+    """
+
+    def join_key(self, value: Any, domain: TypeCategory, trigger: TriggerContext) -> Any:
+        """Normalize a join key before hashing / comparison in *domain*."""
+        return correct_hash_key(cast_for_domain(value, domain))
+
+    def null_pad_value(self, column: str, trigger: TriggerContext) -> Any:
+        """Value used to pad the non-preserved side of an outer join."""
+        return NULL
+
+    def flag(self, effect: str, trigger: TriggerContext) -> bool:
+        """Generic boolean fault seam; the default engine never misbehaves."""
+        return False
+
+    def post_rows(self, rows: List[ExecRow], trigger: TriggerContext) -> List[ExecRow]:
+        """Hook applied to an operator's full output (used by result-corruption bugs)."""
+        return rows
+
+
+class PhysicalOperator:
+    """Base class of all physical operators."""
+
+    def rows(self) -> Iterator[ExecRow]:
+        """Yield output rows."""
+        raise NotImplementedError
+
+    def execute(self) -> List[ExecRow]:
+        """Materialize the full output."""
+        return list(self.rows())
+
+    def output_columns(self) -> List[str]:
+        """Qualified column names this operator produces."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description used by EXPLAIN-style plan dumps."""
+        return type(self).__name__
+
+    def explain(self, depth: int = 0) -> str:
+        """Recursive plan description."""
+        lines = ["  " * depth + "-> " + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def children(self) -> List["PhysicalOperator"]:
+        """Child operators."""
+        return []
+
+
+def merge_rows(left: Mapping[str, Any], right: Mapping[str, Any]) -> ExecRow:
+    """Merge the column maps of two join inputs."""
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def null_row(columns: Iterable[str], hooks: ExecutionHooks,
+             trigger: TriggerContext) -> ExecRow:
+    """Build a padding row for the non-preserved side of an outer join."""
+    return {column: hooks.null_pad_value(column, trigger) for column in columns}

@@ -1,0 +1,166 @@
+"""Implicit cast rules used during mixed-type comparisons and joins.
+
+The paper's MySQL semi-join bug (Figure 1(b)) is caused by ``varchar`` being cast to
+``double`` instead of ``bigint`` when a hash semi-join is chosen, losing precision.
+This module implements the *correct* conversion rules; the buggy conversions live in
+:mod:`repro.engine.faults` and deliberately reuse the lossy routines defined here.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal, InvalidOperation
+from typing import Any
+
+from repro.sqlvalue.datatypes import DataType, TypeCategory
+from repro.sqlvalue.values import NULL, is_null
+
+_LEADING_NUMBER_RE = re.compile(r"^\s*[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?")
+
+
+def string_to_double(value: str) -> float:
+    """Convert a string to DOUBLE using MySQL's leading-prefix rule.
+
+    Non-numeric strings convert to ``0.0`` and trailing garbage is ignored, which
+    is exactly how MySQL performs implicit string→number conversion.
+    """
+    match = _LEADING_NUMBER_RE.match(value)
+    if not match:
+        return 0.0
+    try:
+        return float(match.group(0))
+    except ValueError:  # pragma: no cover - defensive
+        return 0.0
+
+
+def string_to_bigint(value: str) -> int:
+    """Convert a string to BIGINT, truncating any fractional part."""
+    return int(string_to_double(value))
+
+
+def string_to_decimal(value: str) -> Decimal:
+    """Convert a string to an exact DECIMAL using the leading-prefix rule."""
+    match = _LEADING_NUMBER_RE.match(value)
+    if not match:
+        return Decimal(0)
+    try:
+        return Decimal(match.group(0).strip())
+    except InvalidOperation:  # pragma: no cover - defensive
+        return Decimal(0)
+
+
+def to_double_lossy(value: Any) -> Any:
+    """Cast *value* to DOUBLE, with the float32-style precision loss of FLOAT columns.
+
+    This is the conversion path the buggy hash semi-join takes: large integers and
+    long decimal strings lose their low-order digits.
+    """
+    if is_null(value):
+        return NULL
+    if isinstance(value, bool):
+        return float(int(value))
+    if isinstance(value, (int, float, Decimal)):
+        return float(value)
+    return string_to_double(str(value))
+
+
+def to_bigint(value: Any) -> Any:
+    """Cast *value* to BIGINT (the correct conversion for integer-like strings)."""
+    if is_null(value):
+        return NULL
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, (float, Decimal)):
+        return int(value)
+    return string_to_bigint(str(value))
+
+
+def to_decimal(value: Any) -> Any:
+    """Cast *value* to an exact DECIMAL."""
+    if is_null(value):
+        return NULL
+    if isinstance(value, bool):
+        return Decimal(int(value))
+    if isinstance(value, int):
+        return Decimal(value)
+    if isinstance(value, Decimal):
+        return value
+    if isinstance(value, float):
+        return Decimal(str(value))
+    return string_to_decimal(str(value))
+
+
+def to_string(value: Any) -> Any:
+    """Cast *value* to its string form."""
+    if is_null(value):
+        return NULL
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def cast_to(value: Any, dtype: DataType) -> Any:
+    """Cast *value* into the domain of *dtype* using the correct (bug-free) rules."""
+    if is_null(value):
+        return NULL
+    category = dtype.category
+    if category is TypeCategory.INTEGER:
+        result = to_bigint(value)
+        lo, hi = dtype.integer_range()
+        return max(lo, min(hi, result))
+    if category is TypeCategory.DECIMAL:
+        result = to_decimal(value)
+        scale = dtype.scale or 0
+        quantum = Decimal(1).scaleb(-scale)
+        return result.quantize(quantum)
+    if category is TypeCategory.FLOAT:
+        return to_double_lossy(value)
+    if category is TypeCategory.STRING:
+        rendered = to_string(value)
+        if dtype.length is not None:
+            return rendered[: dtype.length]
+        return rendered
+    if category is TypeCategory.BOOLEAN:
+        return bool(to_bigint(value))
+    return to_string(value)
+
+
+def comparison_domain(left: DataType, right: DataType) -> TypeCategory:
+    """Pick the domain in which a correct engine compares two columns.
+
+    MySQL's documented rules, simplified: if both sides are strings compare as
+    strings; if both are exact numerics compare as DECIMAL; any temporal paired
+    with a string compares as strings; otherwise compare as DOUBLE -- *except*
+    that an integer/decimal column compared with a string constant should use the
+    exact DECIMAL domain (the correct behaviour the semi-join bug violates).
+    """
+    lc, rc = left.category, right.category
+    if lc is TypeCategory.STRING and rc is TypeCategory.STRING:
+        return TypeCategory.STRING
+    if lc is TypeCategory.TEMPORAL or rc is TypeCategory.TEMPORAL:
+        return TypeCategory.STRING
+    exact = (TypeCategory.INTEGER, TypeCategory.DECIMAL, TypeCategory.BOOLEAN)
+    if lc in exact and rc in exact:
+        return TypeCategory.DECIMAL
+    if (lc in exact and rc is TypeCategory.STRING) or (
+        rc in exact and lc is TypeCategory.STRING
+    ):
+        return TypeCategory.DECIMAL
+    return TypeCategory.FLOAT
+
+
+def cast_for_domain(value: Any, domain: TypeCategory) -> Any:
+    """Cast *value* into the shared comparison *domain*."""
+    if is_null(value):
+        return NULL
+    if domain is TypeCategory.STRING:
+        return to_string(value)
+    if domain is TypeCategory.DECIMAL:
+        return to_decimal(value)
+    if domain in (TypeCategory.FLOAT, TypeCategory.INTEGER, TypeCategory.BOOLEAN):
+        return to_double_lossy(value)
+    return to_string(value)

@@ -1,0 +1,125 @@
+"""Secondary index structures used by index-nested-loop joins and lookups."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlvalue.comparison import correct_hash_key
+from repro.sqlvalue.values import NULL, is_null, value_sort_key
+from repro.storage.table_data import Row, TableData
+
+
+class HashIndex:
+    """A hash index mapping normalized key values to row indices.
+
+    The key normalization function is injectable because the seeded faults model
+    engines whose index probes disagree with their table scans (for example by
+    keeping ``-0.0`` and ``0.0`` in different buckets).
+    """
+
+    def __init__(
+        self,
+        table: TableData,
+        column: str,
+        key_func: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.table = table
+        self.column = column
+        self._key_func = key_func or correct_hash_key
+        self._buckets: Dict[Any, List[int]] = {}
+        self._null_rows: List[int] = []
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the index from the current table contents."""
+        self._buckets.clear()
+        self._null_rows = []
+        for row_index, row in enumerate(self.table.rows):
+            value = row[self.column]
+            if is_null(value):
+                self._null_rows.append(row_index)
+                continue
+            key = self._key_func(value)
+            self._buckets.setdefault(key, []).append(row_index)
+
+    def probe(self, value: Any) -> List[int]:
+        """Row indices whose key matches *value* (NULL probes match nothing)."""
+        if is_null(value):
+            return []
+        return list(self._buckets.get(self._key_func(value), ()))
+
+    def probe_rows(self, value: Any) -> List[Row]:
+        """Rows matching *value*."""
+        return [self.table.rows[i] for i in self.probe(value)]
+
+    @property
+    def null_row_indices(self) -> List[int]:
+        """Row indices whose indexed column is NULL."""
+        return list(self._null_rows)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._buckets.values())
+
+
+class OrderedIndex:
+    """A sorted index supporting range probes, used by sort-merge style access."""
+
+    def __init__(self, table: TableData, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._entries: List[Tuple[Tuple[int, Any], int]] = []
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the sorted entry list."""
+        entries = []
+        for row_index, row in enumerate(self.table.rows):
+            value = row[self.column]
+            if is_null(value):
+                continue
+            entries.append((value_sort_key(value), row_index))
+        entries.sort(key=lambda item: item[0])
+        self._entries = entries
+
+    def _keys(self) -> List[Tuple[int, Any]]:
+        return [entry[0] for entry in self._entries]
+
+    def equal_range(self, value: Any) -> List[int]:
+        """Row indices with column equal to *value*."""
+        if is_null(value):
+            return []
+        key = value_sort_key(value)
+        keys = self._keys()
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key)
+        return [self._entries[i][1] for i in range(lo, hi)]
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> List[int]:
+        """Row indices with column in the given (optionally open) range."""
+        keys = self._keys()
+        lo_pos = 0
+        hi_pos = len(keys)
+        if low is not None and not is_null(low):
+            key = value_sort_key(low)
+            lo_pos = bisect_left(keys, key) if include_low else bisect_right(keys, key)
+        if high is not None and not is_null(high):
+            key = value_sort_key(high)
+            hi_pos = bisect_right(keys, key) if include_high else bisect_left(keys, key)
+        return [self._entries[i][1] for i in range(lo_pos, hi_pos)]
+
+    def min_value(self) -> Any:
+        """Smallest non-NULL value, or NULL when the index is empty."""
+        if not self._entries:
+            return NULL
+        return self.table.rows[self._entries[0][1]][self.column]
+
+    def max_value(self) -> Any:
+        """Largest non-NULL value, or NULL when the index is empty."""
+        if not self._entries:
+            return NULL
+        return self.table.rows[self._entries[-1][1]][self.column]
+
+    def __len__(self) -> int:
+        return len(self._entries)

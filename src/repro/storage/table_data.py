@@ -1,0 +1,107 @@
+"""In-memory row storage for a single table."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.catalog.table import TableSchema
+from repro.errors import ExecutionError
+from repro.sqlvalue.values import NULL, is_null, null_if_none
+
+Row = Dict[str, Any]
+"""A stored row: a mapping from column name to value."""
+
+
+class TableData:
+    """Rows of one table, stored as a list of column-name→value dicts.
+
+    Tables used by the testing campaigns hold at most a few thousand rows, so a
+    simple list keeps execution easy to reason about while staying fast enough
+    for the benchmark harness.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Optional[Iterable[Mapping[str, Any]]] = None) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The stored rows (mutable; callers that need isolation should copy)."""
+        return self._rows
+
+    def insert(self, row: Mapping[str, Any]) -> Row:
+        """Insert a row, filling missing columns with NULL.
+
+        Unknown column names are rejected so that generator bugs surface early.
+        """
+        stored: Row = {}
+        for column in self.schema.columns:
+            stored[column.name] = null_if_none(row.get(column.name, NULL))
+        unknown = set(row) - set(self.schema.column_names)
+        if unknown:
+            raise ExecutionError(
+                f"insert into {self.schema.name!r} references unknown columns {sorted(unknown)}"
+            )
+        self._rows.append(stored)
+        return stored
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Insert several rows."""
+        for row in rows:
+            self.insert(row)
+
+    def update_cell(self, row_index: int, column: str, value: Any) -> None:
+        """Overwrite one cell (used by the noise injector)."""
+        if not self.schema.has_column(column):
+            raise ExecutionError(f"{self.schema.name!r} has no column {column!r}")
+        try:
+            self._rows[row_index][column] = null_if_none(value)
+        except IndexError:
+            raise ExecutionError(
+                f"row index {row_index} out of range for table {self.schema.name!r}"
+            ) from None
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if not self.schema.has_column(column):
+            raise ExecutionError(f"{self.schema.name!r} has no column {column!r}")
+        return [row[column] for row in self._rows]
+
+    def distinct_values(self, column: str, include_null: bool = False) -> List[Any]:
+        """Distinct non-NULL values of a column (order of first appearance)."""
+        seen = []
+        seen_keys = set()
+        for value in self.column_values(column):
+            if is_null(value) and not include_null:
+                continue
+            key = ("<null>",) if is_null(value) else (type(value).__name__, str(value))
+            if key not in seen_keys:
+                seen_keys.add(key)
+                seen.append(value)
+        return seen
+
+    def find_rows(self, column: str, value: Any) -> List[int]:
+        """Indices of rows whose *column* equals *value* (NULL never matches)."""
+        matches = []
+        for index, row in enumerate(self._rows):
+            stored = row[column]
+            if is_null(stored) or is_null(value):
+                continue
+            if stored == value:
+                matches.append(index)
+        return matches
+
+    def copy(self) -> "TableData":
+        """Deep-enough copy: rows are copied, values are shared (immutable)."""
+        clone = TableData(self.schema)
+        clone._rows = [dict(row) for row in self._rows]
+        return clone

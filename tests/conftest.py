@@ -1,0 +1,143 @@
+"""Shared fixtures: a tiny hand-built schema plus DSG pipelines over each dataset."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog import Column, DatabaseSchema, ForeignKey, TableSchema
+from repro.dsg import DSG, DSGConfig
+from repro.engine import Engine, SIM_MYSQL, reference_engine
+from repro.expr import ColumnRef, column
+from repro.plan import JoinStep, JoinType, QuerySpec, SelectItem, TableRef
+from repro.sqlvalue import NULL, bigint, decimal, double, integer, varchar
+from repro.storage import Database
+
+
+@pytest.fixture
+def orders_schema() -> DatabaseSchema:
+    """A small orders/users/goods schema mirroring the paper's Figure 3 example."""
+    t1 = TableSchema(
+        "orders",
+        [
+            Column("RowID", bigint(nullable=False)),
+            Column("orderId", varchar(12)),
+            Column("goodsId", bigint()),
+            Column("userId", varchar(16)),
+        ],
+        primary_key=("RowID",),
+        implicit_key=("orderId", "goodsId", "userId"),
+    )
+    t2 = TableSchema(
+        "users",
+        [
+            Column("RowID", bigint(nullable=False)),
+            Column("userId", varchar(16)),
+            Column("userName", varchar(40)),
+        ],
+        primary_key=("RowID",),
+        implicit_key=("userId",),
+    )
+    t3 = TableSchema(
+        "goods",
+        [
+            Column("RowID", bigint(nullable=False)),
+            Column("goodsId", bigint()),
+            Column("goodsName", varchar(40)),
+            Column("price", decimal(8, 2)),
+        ],
+        primary_key=("RowID",),
+        implicit_key=("goodsId",),
+    )
+    return DatabaseSchema(
+        [t1, t2, t3],
+        [
+            ForeignKey("orders", ("userId",), "users", ("userId",)),
+            ForeignKey("orders", ("goodsId",), "goods", ("goodsId",)),
+        ],
+        name="orders_db",
+    )
+
+
+@pytest.fixture
+def orders_db(orders_schema: DatabaseSchema) -> Database:
+    """The orders schema populated with a handful of rows (incl. NULL keys)."""
+    db = Database(orders_schema)
+    db.insert_many(
+        "users",
+        [
+            {"RowID": 0, "userId": "str1", "userName": "Tom"},
+            {"RowID": 1, "userId": "str2", "userName": "Peter"},
+            {"RowID": 2, "userId": "str3", "userName": "Bob"},
+        ],
+    )
+    db.insert_many(
+        "goods",
+        [
+            {"RowID": 0, "goodsId": 1111, "goodsName": "book", "price": 15},
+            {"RowID": 1, "goodsId": 1112, "goodsName": "food", "price": 5},
+            {"RowID": 2, "goodsId": 1113, "goodsName": "flower", "price": 10},
+        ],
+    )
+    db.insert_many(
+        "orders",
+        [
+            {"RowID": 0, "orderId": "0001", "goodsId": 1111, "userId": "str1"},
+            {"RowID": 1, "orderId": "0001", "goodsId": 1112, "userId": "str1"},
+            {"RowID": 2, "orderId": "0002", "goodsId": 1111, "userId": "str1"},
+            {"RowID": 3, "orderId": "0003", "goodsId": 1111, "userId": "str2"},
+            {"RowID": 4, "orderId": "0003", "goodsId": 1113, "userId": "str2"},
+            {"RowID": 5, "orderId": "0004", "goodsId": 9999, "userId": "str3"},
+            {"RowID": 6, "orderId": "0005", "goodsId": 1112, "userId": NULL},
+        ],
+    )
+    return db
+
+
+@pytest.fixture
+def orders_join_query() -> QuerySpec:
+    """orders LEFT OUTER JOIN users, projecting order id and user name."""
+    return QuerySpec(
+        base=TableRef("orders", "orders"),
+        joins=[
+            JoinStep(
+                TableRef("users", "users"),
+                JoinType.LEFT_OUTER,
+                left_key=ColumnRef("orders", "userId"),
+                right_key=ColumnRef("users", "userId"),
+            )
+        ],
+        select=[SelectItem(column("orders", "orderId")),
+                SelectItem(column("users", "userName"))],
+    )
+
+
+@pytest.fixture(scope="session")
+def shopping_dsg() -> DSG:
+    """A DSG pipeline over the shopping dataset (shared across tests)."""
+    return DSG(DSGConfig(dataset="shopping", dataset_rows=120, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tpch_dsg() -> DSG:
+    """A DSG pipeline over the TPC-H-like dataset (shared across tests)."""
+    return DSG(DSGConfig(dataset="tpch", dataset_rows=120, seed=13))
+
+
+@pytest.fixture(scope="session")
+def kddcup_dsg() -> DSG:
+    """A DSG pipeline over the KDD-Cup-like dataset (shared across tests)."""
+    return DSG(DSGConfig(dataset="kddcup", dataset_rows=120, seed=17))
+
+
+@pytest.fixture
+def clean_engine(shopping_dsg: DSG) -> Engine:
+    """A bug-free engine over the shopping test database."""
+    return reference_engine(shopping_dsg.database)
+
+
+@pytest.fixture
+def mysql_engine(shopping_dsg: DSG) -> Engine:
+    """A SimMySQL engine over the shopping test database."""
+    return Engine(shopping_dsg.database, SIM_MYSQL)

@@ -1,0 +1,115 @@
+"""Tests for the bitmap, WAH encoding and the join bitmap index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsg import Bitmap, JoinBitmapIndex, wah_decode, wah_encode
+from repro.dsg.bitmap import wah_compressed_words
+from repro.errors import GroundTruthError
+
+
+class TestBitmap:
+    def test_set_get_count(self):
+        bitmap = Bitmap(10)
+        bitmap.set(3)
+        bitmap.set(7)
+        assert bitmap.get(3) and bitmap.get(7) and not bitmap.get(0)
+        assert bitmap.count() == 2
+        assert bitmap.indices() == [3, 7]
+
+    def test_bounds_checked(self):
+        bitmap = Bitmap(4)
+        with pytest.raises(GroundTruthError):
+            bitmap.get(4)
+        with pytest.raises(GroundTruthError):
+            bitmap.set(-1)
+
+    def test_logical_operators(self):
+        left = Bitmap.from_indices(8, [0, 1, 2])
+        right = Bitmap.from_indices(8, [2, 3])
+        assert (left & right).indices() == [2]
+        assert (left | right).indices() == [0, 1, 2, 3]
+        assert (left ^ right).indices() == [0, 1, 3]
+        assert (~right).indices() == [0, 1, 4, 5, 6, 7]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(GroundTruthError):
+            Bitmap(4) & Bitmap(5)
+
+    def test_ones_and_density(self):
+        assert Bitmap.ones(5).count() == 5
+        assert Bitmap.from_indices(4, [0, 1]).density() == 0.5
+        assert Bitmap(0).density() == 0.0
+
+    def test_extend_appends_cleared_bits(self):
+        bitmap = Bitmap.from_indices(3, [2])
+        bitmap.extend(2)
+        assert bitmap.size == 5
+        assert not bitmap.get(4)
+        with pytest.raises(GroundTruthError):
+            bitmap.extend(-1)
+
+    def test_copy_and_equality(self):
+        bitmap = Bitmap.from_indices(6, [1, 4])
+        clone = bitmap.copy()
+        clone.set(0)
+        assert bitmap != clone
+        assert bitmap == Bitmap.from_indices(6, [1, 4])
+
+
+class TestWAH:
+    def test_roundtrip_simple(self):
+        bitmap = Bitmap.from_indices(100, [0, 50, 99])
+        words = wah_encode(bitmap)
+        assert wah_decode(words, 100) == bitmap
+
+    def test_sparse_bitmap_compresses(self):
+        sparse = Bitmap.from_indices(31 * 40, [0])
+        dense = Bitmap.from_indices(31 * 40, list(range(0, 31 * 40, 2)))
+        assert wah_compressed_words(sparse) < wah_compressed_words(dense)
+
+    def test_all_ones_uses_fill_words(self):
+        bitmap = Bitmap.ones(31 * 10)
+        words = wah_encode(bitmap)
+        assert words == [("fill", (1, 10))]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 200), st.data())
+    def test_roundtrip_property(self, size, data):
+        indices = data.draw(st.lists(st.integers(0, size - 1), max_size=size))
+        bitmap = Bitmap.from_indices(size, indices)
+        assert wah_decode(wah_encode(bitmap), size) == bitmap
+
+
+class TestJoinBitmapIndex:
+    def test_set_get_per_table(self):
+        index = JoinBitmapIndex(5, ["T1", "T2"])
+        index.set("T1", 0)
+        index.set("T2", 1)
+        assert index.get("T1", 0) and not index.get("T1", 1)
+        with pytest.raises(GroundTruthError):
+            index.bitmap("T9")
+
+    def test_add_wide_row_grows_every_bitmap(self):
+        index = JoinBitmapIndex(2, ["T1", "T2"])
+        new_row = index.add_wide_row()
+        assert new_row == 2
+        assert index.bitmap("T1").size == 3
+        assert not index.get("T2", 2)
+
+    def test_sparsity_ranked_intersection(self):
+        index = JoinBitmapIndex(6, ["T1", "T2", "T3"])
+        for row in range(6):
+            index.set("T1", row)
+        for row in (0, 1, 2):
+            index.set("T2", row)
+        index.set("T3", 1)
+        assert index.sparsity_ranked_tables(["T1", "T2", "T3"]) == ["T3", "T2", "T1"]
+        assert index.intersect(["T1", "T2", "T3"]).indices() == [1]
+        assert index.intersect([]).count() == 6
+
+    def test_copy_is_deep(self):
+        index = JoinBitmapIndex(3, ["T1"])
+        clone = index.copy()
+        clone.set("T1", 0)
+        assert not index.get("T1", 0)

@@ -1,0 +1,176 @@
+"""Tests for the expression AST, three-valued evaluation and SQL rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExpressionError
+from repro.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    EvalContext,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    PredicateBuilder,
+    column,
+    conjoin,
+    eq,
+    lit,
+)
+from repro.sqlvalue import NULL
+from repro.catalog import Column as CatColumn
+from repro.sqlvalue import integer, varchar
+
+
+def ctx(**values):
+    return EvalContext(dict(values))
+
+
+class TestColumnRef:
+    def test_qualified_lookup(self):
+        ref = column("t1", "a")
+        assert ref.eval(ctx(**{"t1.a": 5})) == 5
+
+    def test_unqualified_lookup(self):
+        assert ColumnRef(None, "a").eval(ctx(a=7)) == 7
+
+    def test_suffix_fallback(self):
+        assert ColumnRef(None, "a").eval(ctx(**{"t1.a": 3})) == 3
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExpressionError):
+            column("t1", "a").eval(ctx(**{"t2.b": 1}))
+
+    def test_render(self):
+        assert column("t1", "a").render() == "t1.a"
+        assert ColumnRef(None, "a").render() == "a"
+
+
+class TestComparisons:
+    def test_equality_and_nulls(self):
+        expr = eq(column("t", "a"), lit(5))
+        assert expr.eval(ctx(**{"t.a": 5})) is True
+        assert expr.eval(ctx(**{"t.a": 6})) is False
+        assert expr.eval(ctx(**{"t.a": NULL})) is NULL
+
+    def test_null_safe_equal(self):
+        expr = Comparison("<=>", column("t", "a"), lit(NULL))
+        assert expr.eval(ctx(**{"t.a": NULL})) is True
+        assert expr.eval(ctx(**{"t.a": 0})) is False
+
+    def test_invalid_operator(self):
+        with pytest.raises(ExpressionError):
+            Comparison("===", lit(1), lit(1))
+
+    def test_render(self):
+        assert eq(column("t", "a"), lit(5)).render() == "(t.a = 5)"
+
+
+class TestLogicalConnectives:
+    def test_and_short_circuits_false(self):
+        expr = And(eq(lit(1), lit(2)), eq(column("t", "a"), lit(1)))
+        assert expr.eval(ctx()) is False  # never touches the missing column
+
+    def test_and_unknown(self):
+        expr = And(eq(lit(1), lit(1)), eq(lit(NULL), lit(1)))
+        assert expr.eval(ctx()) is NULL
+
+    def test_or_unknown_and_true(self):
+        assert Or(eq(lit(NULL), lit(1)), eq(lit(1), lit(1))).eval(ctx()) is True
+        assert Or(eq(lit(NULL), lit(1)), eq(lit(1), lit(2))).eval(ctx()) is NULL
+
+    def test_not(self):
+        assert Not(eq(lit(1), lit(1))).eval(ctx()) is False
+        assert Not(eq(lit(NULL), lit(1))).eval(ctx()) is NULL
+
+    def test_flattening(self):
+        nested = And(eq(lit(1), lit(1)), And(eq(lit(2), lit(2)), eq(lit(3), lit(3))))
+        assert len(nested.operands) == 3
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ExpressionError):
+            And()
+
+    def test_conjoin(self):
+        assert conjoin([]) is None
+        single = eq(lit(1), lit(1))
+        assert conjoin([single]) is single
+        assert isinstance(conjoin([single, eq(lit(2), lit(2))]), And)
+
+
+class TestOtherPredicates:
+    def test_between(self):
+        expr = Between(column("t", "a"), lit(1), lit(10))
+        assert expr.eval(ctx(**{"t.a": 5})) is True
+        assert expr.eval(ctx(**{"t.a": 11})) is False
+        assert expr.eval(ctx(**{"t.a": NULL})) is NULL
+        assert Between(lit(5), lit(1), lit(10), negated=True).eval(ctx()) is False
+
+    def test_in_list_null_semantics(self):
+        expr = InList(column("t", "a"), (lit(1), lit(NULL)))
+        assert expr.eval(ctx(**{"t.a": 1})) is True
+        assert expr.eval(ctx(**{"t.a": 2})) is NULL  # unknown because of the NULL item
+        not_in = InList(column("t", "a"), (lit(1), lit(2)), negated=True)
+        assert not_in.eval(ctx(**{"t.a": 3})) is True
+        assert not_in.eval(ctx(**{"t.a": 1})) is False
+
+    def test_is_null(self):
+        assert IsNull(lit(NULL)).eval(ctx()) is True
+        assert IsNull(lit(1), negated=True).eval(ctx()) is True
+
+    def test_arithmetic(self):
+        assert Arithmetic("+", lit(2), lit(3)).eval(ctx()) == 5
+        assert Arithmetic("/", lit(1), lit(0)).eval(ctx()) is NULL
+        assert Arithmetic("*", lit(NULL), lit(3)).eval(ctx()) is NULL
+        with pytest.raises(ExpressionError):
+            Arithmetic("%", lit(1), lit(1))
+
+    def test_functions(self):
+        assert FunctionCall("ABS", (lit(-3),)).eval(ctx()) == 3
+        assert FunctionCall("LENGTH", (lit("abcd"),)).eval(ctx()) == 4
+        assert FunctionCall("COALESCE", (lit(NULL), lit(7))).eval(ctx()) == 7
+        with pytest.raises(ExpressionError):
+            FunctionCall("MAGIC", (lit(1),))
+
+
+class TestReferencesAndRendering:
+    def test_references_collects_columns(self):
+        expr = And(eq(column("t1", "a"), column("t2", "b")),
+                   Between(column("t1", "c"), lit(1), lit(2)))
+        assert expr.references() == {("t1", "a"), ("t2", "b"), ("t1", "c")}
+
+    def test_render_roundtrips_structure(self):
+        expr = Or(IsNull(column("t", "a")), InList(column("t", "b"), (lit(1), lit(2))))
+        text = expr.render()
+        assert "IS NULL" in text and "IN (1, 2)" in text
+
+
+class TestPredicateBuilder:
+    def test_builder_produces_evaluable_predicates(self):
+        import random
+
+        builder = PredicateBuilder(random.Random(5))
+        col = CatColumn("price", integer())
+        for _ in range(30):
+            predicate = builder.build("t", col, [1, 2, 3, 10])
+            value = predicate.eval(ctx(**{"t.price": 2}))
+            assert value in (True, False, NULL)
+
+    def test_builder_handles_all_null_pool(self):
+        import random
+
+        builder = PredicateBuilder(random.Random(5))
+        predicate = builder.build("t", CatColumn("name", varchar(5)), [NULL])
+        assert isinstance(predicate, IsNull)
+
+
+@given(st.integers(-50, 50))
+def test_between_matches_manual_bounds(value):
+    expr = Between(lit(value), lit(-10), lit(10))
+    assert expr.eval(EvalContext({})) == (-10 <= value <= 10)

@@ -1,0 +1,132 @@
+"""Tests for functional dependency discovery, closures and minimal covers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import Column
+from repro.dsg import (
+    FunctionalDependency,
+    WideTable,
+    attribute_closure,
+    build_dataset,
+    candidate_key,
+    discover_fds,
+    minimal_cover,
+    transitive_closure,
+)
+from repro.dsg.fd import FDDiscovery, holds
+from repro.sqlvalue import NULL, integer, varchar
+
+
+def figure3_table() -> WideTable:
+    columns = [
+        Column("orderId", varchar(8)), Column("goodsId", integer()),
+        Column("goodsName", varchar(10)), Column("userId", varchar(8)),
+        Column("userName", varchar(10)), Column("price", integer()),
+    ]
+    rows = [
+        ("0001", 1111, "book", "str1", "Tom", 15),
+        ("0001", 1112, "food", "str1", "Tom", 5),
+        ("0002", 1111, "book", "str1", "Tom", 15),
+        ("0003", 1111, "book", "str2", "Peter", 15),
+        ("0003", 1112, "food", "str2", "Peter", 5),
+        ("0003", 1113, "flower", "str2", "Peter", 10),
+        ("0004", 1111, "book", "str3", "Bob", 15),
+        ("0004", 1112, "food", "str3", "Bob", 5),
+    ]
+    names = [c.name for c in columns]
+    return WideTable(columns, rows=[dict(zip(names, row)) for row in rows])
+
+
+class TestHoldsAndDiscovery:
+    def test_planted_fds_hold(self):
+        table = figure3_table()
+        assert holds(table, ("goodsId",), "goodsName")
+        assert holds(table, ("goodsName",), "price")
+        assert holds(table, ("userId",), "userName")
+        assert not holds(table, ("userId",), "goodsId")
+        assert not holds(table, ("userName",), "orderId")
+
+    def test_discovery_finds_the_paper_fds(self):
+        found = {fd.render() for fd in discover_fds(figure3_table(), max_lhs_size=2)}
+        assert "{goodsId} -> goodsName" in found
+        assert "{goodsName} -> price" in found
+        assert "{userId} -> userName" in found
+
+    def test_discovery_respects_exclusions(self):
+        found = discover_fds(figure3_table(), exclude_columns=("goodsId",))
+        assert all("goodsId" not in fd.lhs and fd.rhs != "goodsId" for fd in found)
+
+    def test_minimality_pruning(self):
+        found = discover_fds(figure3_table(), max_lhs_size=2)
+        # goodsId -> goodsName makes {goodsId, userId} -> goodsName non-minimal.
+        assert not any(set(fd.lhs) == {"goodsId", "userId"} and fd.rhs == "goodsName"
+                       for fd in found)
+
+    def test_null_rows_do_not_crash_discovery(self):
+        table = figure3_table()
+        table.append({"orderId": "0005", "goodsId": NULL, "goodsName": NULL,
+                      "userId": "str1", "userName": "Tom", "price": NULL})
+        assert holds(table, ("userId",), "userName")
+
+    @pytest.mark.parametrize("dataset", ["shopping", "kddcup", "tpch"])
+    def test_discovery_superset_of_planted(self, dataset):
+        spec = build_dataset(dataset, 150, random.Random(3))
+        discovered = FDDiscovery(spec.wide, max_lhs_size=2).discover()
+        rendered = {(tuple(sorted(fd.lhs)), fd.rhs) for fd in discovered}
+        for fd in spec.planted_fds:
+            if len(fd.lhs) > 2:
+                continue
+            assert (tuple(sorted(fd.lhs)), fd.rhs) in rendered
+
+
+class TestClosuresAndCover:
+    FDS = [
+        FunctionalDependency(("goodsId",), "goodsName"),
+        FunctionalDependency(("goodsName",), "price"),
+        FunctionalDependency(("userId",), "userName"),
+    ]
+
+    def test_attribute_closure(self):
+        closure = attribute_closure(("goodsId",), self.FDS)
+        assert closure == {"goodsId", "goodsName", "price"}
+
+    def test_transitive_closure_for_noise_sync(self):
+        assert transitive_closure("goodsId", self.FDS) == {"goodsName", "price"}
+        assert transitive_closure("userId", self.FDS) == {"userName"}
+        assert transitive_closure("price", self.FDS) == set()
+
+    def test_minimal_cover_removes_redundant_fds(self):
+        fds = self.FDS + [FunctionalDependency(("goodsId",), "price")]
+        cover = minimal_cover(fds)
+        assert FunctionalDependency(("goodsId",), "price") not in cover
+        assert len(cover) == 3
+
+    def test_minimal_cover_reduces_left_sides(self):
+        fds = [FunctionalDependency(("goodsId", "userId"), "goodsName"),
+               FunctionalDependency(("goodsId",), "goodsName")]
+        cover = minimal_cover(fds)
+        assert all(fd.lhs == ("goodsId",) for fd in cover if fd.rhs == "goodsName")
+
+    def test_candidate_key_of_figure3(self):
+        columns = [c.name for c in figure3_table().columns]
+        key = candidate_key(columns, self.FDS)
+        assert "orderId" in key and "goodsId" in key and "userId" in key
+        assert "price" not in key and "userName" not in key
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=30))
+def test_holds_matches_bruteforce_definition(pairs):
+    table = WideTable([Column("a", integer()), Column("b", integer())],
+                      rows=[{"a": a, "b": b} for a, b in pairs])
+    mapping = {}
+    expected = True
+    for a, b in pairs:
+        if a in mapping and mapping[a] != b:
+            expected = False
+            break
+        mapping.setdefault(a, b)
+    assert holds(table, ("a",), "b") == expected

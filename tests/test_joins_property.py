@@ -1,0 +1,124 @@
+"""Property-based tests for join semantics on randomly generated tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import Column, DatabaseSchema, ForeignKey, TableSchema
+from repro.expr import ColumnRef
+from repro.plan import (
+    ExecutionHooks,
+    Join,
+    JoinAlgorithm,
+    JoinKeySpec,
+    JoinType,
+    TableScan,
+)
+from repro.sqlvalue import NULL, TypeCategory, bigint, integer, varchar
+from repro.sqlvalue.comparison import sql_equal
+from repro.sqlvalue.values import is_null, normalize_row, row_sort_key
+from repro.storage import Database
+
+key_values = st.one_of(st.integers(-3, 3), st.just(NULL))
+
+
+def build_db(left_keys, right_keys) -> Database:
+    left_schema = TableSchema(
+        "child", [Column("id", integer()), Column("fk", bigint())], implicit_key=("id",)
+    )
+    right_schema = TableSchema(
+        "parent", [Column("pk", bigint()), Column("payload", varchar(8))],
+        implicit_key=("pk",),
+    )
+    schema = DatabaseSchema(
+        [left_schema, right_schema],
+        [ForeignKey("child", ("fk",), "parent", ("pk",))],
+    )
+    db = Database(schema)
+    for index, key in enumerate(left_keys):
+        db.insert("child", {"id": index, "fk": key})
+    for index, key in enumerate(right_keys):
+        db.insert("parent", {"pk": key, "payload": f"p{index}"})
+    return db
+
+
+def run(db, join_type, algorithm):
+    join = Join(
+        TableScan(db, "child", "c"),
+        TableScan(db, "parent", "p"),
+        join_type,
+        algorithm,
+        JoinKeySpec("c.fk", "p.pk", TypeCategory.DECIMAL),
+        hooks=ExecutionHooks(),
+    )
+    return join.execute()
+
+
+def signature(rows, columns):
+    return sorted(
+        (normalize_row(tuple(row[c] for c in columns)) for row in rows),
+        key=row_sort_key,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(key_values, max_size=8), st.lists(key_values, max_size=6))
+def test_all_algorithms_agree_on_every_join_type(left_keys, right_keys):
+    """A correct engine must return identical results regardless of algorithm."""
+    db = build_db(left_keys, right_keys)
+    for join_type in JoinType:
+        columns = ["c.id"] if join_type in (JoinType.SEMI, JoinType.ANTI) else ["c.id", "p.pk"]
+        reference = signature(run(db, join_type, JoinAlgorithm.NESTED_LOOP), columns)
+        for algorithm in JoinAlgorithm:
+            assert signature(run(db, join_type, algorithm), columns) == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(key_values, max_size=8), st.lists(key_values, max_size=6))
+def test_inner_join_equals_filtered_cross_product(left_keys, right_keys):
+    db = build_db(left_keys, right_keys)
+    inner = signature(run(db, JoinType.INNER, JoinAlgorithm.HASH), ["c.id", "p.pk"])
+    expected = []
+    for i, lk in enumerate(left_keys):
+        for rk in right_keys:
+            if not is_null(lk) and not is_null(rk) and sql_equal(lk, rk) is True:
+                expected.append(normalize_row((i, rk)))
+    assert inner == sorted(expected, key=row_sort_key)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(key_values, max_size=8), st.lists(key_values, max_size=6))
+def test_semi_plus_anti_partition_left_side(left_keys, right_keys):
+    """SEMI and ANTI join results partition the left input exactly."""
+    db = build_db(left_keys, right_keys)
+    semi = {row["c.id"] for row in run(db, JoinType.SEMI, JoinAlgorithm.HASH)}
+    anti = {row["c.id"] for row in run(db, JoinType.ANTI, JoinAlgorithm.HASH)}
+    assert semi | anti == set(range(len(left_keys)))
+    assert semi & anti == set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(key_values, max_size=8), st.lists(key_values, max_size=6))
+def test_left_outer_contains_inner_plus_padded(left_keys, right_keys):
+    db = build_db(left_keys, right_keys)
+    inner = signature(run(db, JoinType.INNER, JoinAlgorithm.SORT_MERGE), ["c.id", "p.pk"])
+    left = run(db, JoinType.LEFT_OUTER, JoinAlgorithm.SORT_MERGE)
+    matched = signature([row for row in left if row["p.pk"] is not NULL], ["c.id", "p.pk"])
+    assert matched == inner
+    padded_ids = {row["c.id"] for row in left if row["p.pk"] is NULL}
+    semi_ids = {row["c.id"] for row in run(db, JoinType.SEMI, JoinAlgorithm.HASH)}
+    assert padded_ids == set(range(len(left_keys))) - semi_ids
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(key_values, max_size=6), st.lists(key_values, max_size=5))
+def test_full_outer_is_union_of_left_and_right_outer(left_keys, right_keys):
+    db = build_db(left_keys, right_keys)
+    columns = ["c.id", "p.pk", "p.payload"]
+    full = signature(run(db, JoinType.FULL_OUTER, JoinAlgorithm.HASH), columns)
+    left = signature(run(db, JoinType.LEFT_OUTER, JoinAlgorithm.HASH), columns)
+    right = signature(run(db, JoinType.RIGHT_OUTER, JoinAlgorithm.HASH), columns)
+    assert set(left) <= set(full)
+    assert set(right) <= set(full)
+    assert set(full) == set(left) | set(right)

@@ -1,0 +1,113 @@
+"""Tests for noise injection and the Case 1 / Case 2 wide-table synchronization."""
+
+import random
+
+import pytest
+
+from repro.dsg import NoiseInjector, build_dataset, normalize
+from repro.errors import NoiseInjectionError
+from repro.sqlvalue import is_null
+from repro.sqlvalue.values import canonical_numeric, normalize_row
+
+
+def fresh_ndb(seed=3, dataset="shopping", rows=90):
+    spec = build_dataset(dataset, rows, random.Random(seed))
+    return normalize(spec.wide, fds=spec.planted_fds, key_override=spec.key_columns)
+
+
+class TestNoiseInjection:
+    def test_epsilon_bounds_validated(self):
+        ndb = fresh_ndb()
+        with pytest.raises(NoiseInjectionError):
+            NoiseInjector(ndb, epsilon=1.5)
+
+    def test_injection_produces_events_and_grows_wide_table(self):
+        ndb = fresh_ndb()
+        before = len(ndb.wide)
+        report = NoiseInjector(ndb, rng=random.Random(1), epsilon=0.1).inject()
+        assert report.count > 0
+        assert len(ndb.wide) > before  # Case 1 / Case 2 insertions
+        assert report.touched_tables
+
+    def test_noise_values_are_unique_or_null(self):
+        ndb = fresh_ndb()
+        report = NoiseInjector(ndb, rng=random.Random(2), epsilon=0.1,
+                               adversarial_pairs=False).inject()
+        non_null = [e for e in report.events if not is_null(e.new_value)]
+        per_column = {}
+        for event in non_null:
+            per_column.setdefault(event.column, []).append(
+                canonical_numeric(event.new_value)
+            )
+        for column, values in per_column.items():
+            assert len(values) == len(set(values)), f"duplicate noise in {column}"
+
+    def test_bitmap_cleared_for_corrupted_foreign_keys(self):
+        ndb = fresh_ndb()
+        report = NoiseInjector(ndb, rng=random.Random(3), epsilon=0.1,
+                               null_fraction=0.0, adversarial_pairs=False).inject()
+        case2 = [e for e in report.events if e.case == 2]
+        assert case2
+        # For at least one corrupted FK the parent-side bit of an affected wide
+        # row must have been cleared.
+        cleared = 0
+        for event in case2:
+            fk = next(fk for fk in ndb.schema.foreign_keys
+                      if fk.table == event.table and event.column in fk.columns)
+            for wide_id, wide_row in enumerate(ndb.wide.rows):
+                value = wide_row[event.column]
+                if not is_null(value) and canonical_numeric(value) == canonical_numeric(
+                    event.new_value
+                ):
+                    if not ndb.bitmap.get(fk.ref_table, wide_id):
+                        cleared += 1
+        assert cleared > 0
+
+    def test_case1_adds_augmented_wide_row_with_dependents(self):
+        ndb = fresh_ndb()
+        report = NoiseInjector(ndb, rng=random.Random(4), epsilon=0.08,
+                               null_fraction=0.0, adversarial_pairs=False).inject()
+        case1 = [e for e in report.events if e.case == 1]
+        assert case1
+        event = case1[0]
+        # The corrupted value must now exist in some wide row (the inserted one).
+        found = any(
+            not is_null(row[event.column])
+            and canonical_numeric(row[event.column]) == canonical_numeric(event.new_value)
+            for row in ndb.wide.rows
+        )
+        assert found
+        assert report.augmented_tables
+
+    def test_rowid_map_and_bitmap_stay_consistent_after_noise(self):
+        ndb = fresh_ndb()
+        NoiseInjector(ndb, rng=random.Random(5), epsilon=0.12).inject()
+        for wide_id in range(len(ndb.wide)):
+            for table in ndb.tables:
+                mapped = ndb.rowid_map.get(wide_id, table.name)
+                assert ndb.bitmap.get(table.name, wide_id) == (mapped is not None)
+
+    def test_stored_tables_keep_schema_after_noise(self):
+        ndb = fresh_ndb()
+        NoiseInjector(ndb, rng=random.Random(6), epsilon=0.12).inject()
+        for table in ndb.tables:
+            stored = ndb.database.table(table.name)
+            for row in stored.rows:
+                assert set(row) == set(stored.schema.column_names)
+
+    def test_adversarial_pairs_collide_only_in_double_domain(self):
+        ndb = fresh_ndb(dataset="kddcup")
+        report = NoiseInjector(ndb, rng=random.Random(7), epsilon=0.05,
+                               adversarial_pairs=True).inject()
+        assert report.adversarial_pairs
+        for _column, child_value, parent_value in report.adversarial_pairs:
+            assert child_value != parent_value
+            assert float(child_value) == float(parent_value)
+
+    def test_no_noise_when_epsilon_zero_except_pairs(self):
+        ndb = fresh_ndb()
+        report = NoiseInjector(ndb, rng=random.Random(8), epsilon=0.0,
+                               adversarial_pairs=False).inject()
+        # epsilon=0 still picks max(1, ...) = 1 row per key column by design,
+        # so the report is small but non-empty.
+        assert report.count >= 1

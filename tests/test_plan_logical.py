@@ -1,0 +1,146 @@
+"""Tests for the logical query model and its SQL rendering."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.expr import ColumnRef, column, eq, lit
+from repro.plan import (
+    AggregateFunction,
+    JoinStep,
+    JoinType,
+    OrderItem,
+    QuerySpec,
+    SelectItem,
+    TableRef,
+)
+
+
+def make_query(join_type=JoinType.INNER) -> QuerySpec:
+    return QuerySpec(
+        base=TableRef("orders", "orders"),
+        joins=[
+            JoinStep(
+                TableRef("users", "users"),
+                join_type,
+                left_key=ColumnRef("orders", "userId"),
+                right_key=ColumnRef("users", "userId"),
+            )
+        ],
+        select=[SelectItem(column("orders", "orderId"))],
+    )
+
+
+class TestJoinType:
+    def test_outer_classification(self):
+        assert JoinType.LEFT_OUTER.is_outer
+        assert JoinType.FULL_OUTER.is_outer
+        assert not JoinType.SEMI.is_outer
+
+    def test_exposure(self):
+        assert JoinType.INNER.exposes_right_columns
+        assert not JoinType.ANTI.exposes_right_columns
+
+    def test_render_keywords(self):
+        assert JoinType.LEFT_OUTER.render() == "LEFT OUTER JOIN"
+        assert JoinType.CROSS.render() == "CROSS JOIN"
+
+
+class TestJoinStep:
+    def test_equi_join_requires_keys(self):
+        with pytest.raises(PlanError):
+            JoinStep(TableRef("users", "users"), JoinType.INNER)
+
+    def test_cross_join_needs_no_keys(self):
+        step = JoinStep(TableRef("users", "users"), JoinType.CROSS)
+        assert step.condition_sql() == ""
+
+    def test_condition_sql(self):
+        step = make_query().joins[0]
+        assert step.condition_sql() == "orders.userId = users.userId"
+
+
+class TestQuerySpec:
+    def test_accessors(self):
+        query = make_query()
+        assert query.tables == ["orders", "users"]
+        assert query.aliases == ["orders", "users"]
+        assert query.alias_of("users") == "users"
+        assert query.join_types == [JoinType.INNER]
+
+    def test_alias_of_unknown_table(self):
+        with pytest.raises(PlanError):
+            make_query().alias_of("missing")
+
+    def test_validation_catches_duplicate_aliases(self):
+        query = make_query()
+        query.joins.append(
+            JoinStep(TableRef("users", "users"), JoinType.INNER,
+                     left_key=ColumnRef("orders", "userId"),
+                     right_key=ColumnRef("users", "userId"))
+        )
+        with pytest.raises(PlanError):
+            query.validate()
+
+    def test_validation_requires_projection(self):
+        query = make_query()
+        query.select = []
+        with pytest.raises(PlanError):
+            query.validate()
+
+    def test_validation_requires_connected_left_key(self):
+        query = make_query()
+        query.joins[0] = JoinStep(
+            TableRef("users", "users"), JoinType.INNER,
+            left_key=ColumnRef("goods", "goodsId"),
+            right_key=ColumnRef("users", "userId"),
+        )
+        with pytest.raises(PlanError):
+            query.validate()
+
+    def test_render_inner_join(self):
+        sql = make_query().render()
+        assert "INNER JOIN users" in sql
+        assert sql.strip().endswith(";")
+        assert "SELECT DISTINCT" in sql
+
+    def test_render_semi_join_as_in_subquery(self):
+        sql = make_query(JoinType.SEMI).render()
+        assert "IN (SELECT users.userId FROM users)" in sql
+        assert "SEMI JOIN" not in sql
+
+    def test_render_anti_join_as_not_in(self):
+        sql = make_query(JoinType.ANTI).render()
+        assert "NOT IN (SELECT" in sql
+
+    def test_render_with_hint_comment(self):
+        assert "/*+ hash_join() */" in make_query().render("hash_join()")
+
+    def test_render_where_group_order_limit(self):
+        query = make_query()
+        query.where = eq(column("orders", "orderId"), lit("0001"))
+        query.group_by = [ColumnRef("orders", "orderId")]
+        query.select = [SelectItem(column("orders", "orderId")),
+                        SelectItem(column("orders", "goodsId"),
+                                   aggregate=AggregateFunction.COUNT)]
+        query.order_by = [OrderItem(column("orders", "orderId"), descending=True)]
+        query.limit = 10
+        sql = query.render()
+        assert "WHERE" in sql and "GROUP BY" in sql
+        assert "ORDER BY orders.orderId DESC" in sql and "LIMIT 10" in sql
+        assert "COUNT(orders.goodsId)" in sql
+        # Aggregated queries do not render DISTINCT.
+        assert "SELECT DISTINCT" not in sql
+
+
+class TestSelectItem:
+    def test_output_names(self):
+        plain = SelectItem(column("t", "a"))
+        aliased = SelectItem(column("t", "a"), alias="x")
+        agg = SelectItem(column("t", "a"), aggregate=AggregateFunction.MIN)
+        assert plain.output_name(0) == "a"
+        assert aliased.output_name(0) == "x"
+        assert agg.output_name(2) == "min_2"
+
+    def test_render(self):
+        item = SelectItem(column("t", "a"), alias="x", aggregate=AggregateFunction.MAX)
+        assert item.render() == "MAX(t.a) AS x"

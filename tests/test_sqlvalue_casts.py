@@ -1,0 +1,131 @@
+"""Tests for data types, implicit casts and the comparison-domain lattice."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.sqlvalue import (
+    NULL,
+    DataType,
+    TypeCategory,
+    TypeName,
+    bigint,
+    cast_for_domain,
+    cast_to,
+    char,
+    comparison_domain,
+    decimal,
+    double,
+    float_type,
+    integer,
+    string_to_bigint,
+    string_to_double,
+    text,
+    tinyint,
+    to_bigint,
+    to_decimal,
+    to_double_lossy,
+    to_string,
+    varchar,
+)
+
+
+class TestDataTypes:
+    def test_categories(self):
+        assert bigint().category is TypeCategory.INTEGER
+        assert decimal(8, 2).category is TypeCategory.DECIMAL
+        assert double().category is TypeCategory.FLOAT
+        assert varchar(10).category is TypeCategory.STRING
+
+    def test_integer_range_signed_and_unsigned(self):
+        assert tinyint().integer_range() == (-128, 127)
+        assert tinyint(unsigned=True).integer_range() == (0, 255)
+
+    def test_integer_range_rejected_for_strings(self):
+        with pytest.raises(TypeSystemError):
+            varchar(5).integer_range()
+
+    def test_decimal_scale_validation(self):
+        with pytest.raises(TypeSystemError):
+            DataType(TypeName.DECIMAL, precision=4, scale=6)
+
+    def test_unsigned_string_rejected(self):
+        with pytest.raises(TypeSystemError):
+            DataType(TypeName.VARCHAR, length=5, unsigned=True)
+
+    def test_render_ddl(self):
+        assert decimal(10, 2).render() == "decimal(10,2)"
+        assert varchar(511).render() == "varchar(511)"
+        assert bigint(20, nullable=False).render() == "bigint(20) NOT NULL"
+        assert "zerofill" in decimal(6, 0, zerofill=True).render()
+
+    def test_boundary_values_match_category(self):
+        assert 65535 in integer().boundary_values() or 2147483647 in integer().boundary_values()
+        assert any(isinstance(v, str) for v in varchar(10).boundary_values())
+        assert -0.0 in double().boundary_values()
+
+
+class TestStringConversions:
+    def test_leading_prefix_rule(self):
+        assert string_to_double("12.5abc") == 12.5
+        assert string_to_double("abc") == 0.0
+        assert string_to_double("  -3e2xyz") == -300.0
+
+    def test_string_to_bigint_truncates(self):
+        assert string_to_bigint("12.9") == 12
+
+    def test_precision_loss_in_double_domain(self):
+        exact = to_decimal("9007199254740993")
+        lossy = to_double_lossy("9007199254740993")
+        assert exact == Decimal("9007199254740993")
+        assert lossy == float(9007199254740992)  # collides with the neighbour
+
+
+class TestCastTo:
+    def test_integer_clamping(self):
+        assert cast_to(300, tinyint()) == 127
+        assert cast_to(-5, tinyint(unsigned=True)) == 0
+
+    def test_decimal_quantization(self):
+        assert cast_to("12.345", decimal(8, 2)) == Decimal("12.34") or cast_to(
+            "12.345", decimal(8, 2)
+        ) == Decimal("12.35")
+
+    def test_string_truncation(self):
+        assert cast_to("abcdefgh", varchar(3)) == "abc"
+
+    def test_null_passthrough(self):
+        assert cast_to(NULL, bigint()) is NULL
+
+    def test_float_integral_to_string(self):
+        assert to_string(3.0) == "3"
+        assert to_string(True) == "1"
+
+    def test_to_bigint_handles_floats_and_bools(self):
+        assert to_bigint(2.9) == 2
+        assert to_bigint(True) == 1
+
+
+class TestComparisonDomain:
+    def test_string_string(self):
+        assert comparison_domain(varchar(5), text()) is TypeCategory.STRING
+
+    def test_exact_numerics(self):
+        assert comparison_domain(bigint(), decimal(8, 2)) is TypeCategory.DECIMAL
+
+    def test_string_vs_integer_is_exact(self):
+        assert comparison_domain(varchar(20), bigint()) is TypeCategory.DECIMAL
+
+    def test_float_wins(self):
+        assert comparison_domain(double(), bigint()) is TypeCategory.FLOAT
+
+    def test_temporal_compares_as_string(self):
+        from repro.sqlvalue import date
+
+        assert comparison_domain(date(), varchar(10)) is TypeCategory.STRING
+
+    def test_cast_for_domain(self):
+        assert cast_for_domain("5", TypeCategory.DECIMAL) == Decimal("5")
+        assert cast_for_domain(5, TypeCategory.STRING) == "5"
+        assert cast_for_domain(NULL, TypeCategory.FLOAT) is NULL

@@ -1,0 +1,162 @@
+"""Targeted reproductions of the paper's showcased bug classes (§5.1, Figure 1).
+
+Each test builds the minimal data constellation the corresponding real bug
+needed (a ``-0`` key, a precision-losing 2^53 pair, a NULL-keyed outer row, a
+corrupted foreign key) and checks that the seeded fault produces exactly the
+symptom the paper describes, while the bug-free reference engine stays correct.
+"""
+
+import pytest
+
+from repro.catalog import Column, DatabaseSchema, ForeignKey, TableSchema
+from repro.engine import Engine, SIM_MARIADB, SIM_MYSQL, SIM_TIDB, SIM_XDB, reference_engine
+from repro.expr import ColumnRef, column
+from repro.optimizer import (
+    bnlh_join_hints,
+    hash_join_hints,
+    join_cache_off_hints,
+    merge_join_hints,
+    nested_loop_hints,
+    no_materialization_hints,
+)
+from repro.plan import JoinStep, JoinType, QuerySpec, SelectItem, TableRef
+from repro.sqlvalue import NULL, bigint, double, varchar
+from repro.storage import Database
+
+
+def build_db(child_rows, parent_rows, key_type=double()):
+    child = TableSchema(
+        "child", [Column("id", bigint()), Column("fk", key_type)], implicit_key=("id",)
+    )
+    parent = TableSchema(
+        "parent", [Column("pk", key_type), Column("name", varchar(16))],
+        implicit_key=("pk",),
+    )
+    schema = DatabaseSchema([child, parent],
+                            [ForeignKey("child", ("fk",), "parent", ("pk",))])
+    db = Database(schema)
+    for index, key in enumerate(child_rows):
+        db.insert("child", {"id": index, "fk": key})
+    for index, (key, name) in enumerate(parent_rows):
+        db.insert("parent", {"pk": key, "name": name})
+    return db
+
+
+def join_query(join_type=JoinType.INNER, project_parent=True):
+    select = [SelectItem(column("child", "id"))]
+    if project_parent and join_type.exposes_right_columns:
+        select.append(SelectItem(column("parent", "name")))
+    return QuerySpec(
+        base=TableRef("child", "child"),
+        joins=[JoinStep(TableRef("parent", "parent"), join_type,
+                        left_key=ColumnRef("child", "fk"),
+                        right_key=ColumnRef("parent", "pk"))],
+        select=select,
+    )
+
+
+class TestFigure1HashJoinNegativeZero:
+    """Figure 1(a): hash join asserts that 0 and -0 are not equal."""
+
+    def setup_method(self):
+        self.db = build_db(child_rows=[-0.0, 1.0], parent_rows=[(0.0, "zero"), (1.0, "one")])
+        self.query = join_query()
+
+    def test_reference_engine_matches_zero(self):
+        result = reference_engine(self.db).execute(self.query, hash_join_hints())
+        assert (0, "zero") in result.normalized()
+
+    def test_mysql_hash_join_misses_the_row_but_bnl_does_not(self):
+        engine = Engine(self.db, SIM_MYSQL)
+        hash_result = engine.execute(self.query, hash_join_hints())
+        bnl_result = engine.execute(self.query, nested_loop_hints())
+        assert (0, "zero") not in hash_result.normalized()   # the Figure 1(a) symptom
+        assert (0, "zero") in bnl_result.normalized()          # BNL stays correct
+
+    def test_tidb_merge_join_shows_the_same_symptom(self):
+        engine = Engine(self.db, SIM_TIDB)
+        merge_result = engine.execute(self.query, merge_join_hints())
+        hash_result = engine.execute(self.query, hash_join_hints())
+        assert (0, "zero") not in merge_result.normalized()
+        assert (0, "zero") in hash_result.normalized()
+
+
+class TestFigure1SemiJoinPrecisionLoss:
+    """Figure 1(b): semi-join casts exact keys to double and loses precision."""
+
+    def setup_method(self):
+        self.db = build_db(
+            child_rows=[2 ** 53 + 1, 7],
+            parent_rows=[(2 ** 53, "big"), (7, "small")],
+            key_type=bigint(),
+        )
+        self.query = join_query(JoinType.SEMI, project_parent=False)
+
+    def test_reference_semi_join_only_matches_exact_keys(self):
+        result = reference_engine(self.db).execute(self.query, hash_join_hints())
+        assert result.normalized() == frozenset({(1,)})
+
+    def test_mysql_hash_semi_join_matches_the_collision(self):
+        engine = Engine(self.db, SIM_MYSQL)
+        buggy = engine.execute(self.query, hash_join_hints())
+        assert (0,) in buggy.normalized()  # 2^53+1 spuriously matches 2^53
+        # The nested-loop plan with materialization disabled avoids both the
+        # precision-loss bug (hash only) and the materialized-semi-join bug.
+        correct = engine.execute(
+            self.query, no_materialization_hints(nested_loop_hints())
+        )
+        assert (0,) not in correct.normalized()
+
+
+class TestListing3MariaDBJoinCache:
+    """Listing 3/4: outer-join padding corrupted when the join cache is restricted."""
+
+    def setup_method(self):
+        self.db = build_db(child_rows=[1.0, 99.0], parent_rows=[(1.0, "one")])
+        self.query = join_query(JoinType.LEFT_OUTER)
+
+    def test_bnlh_turns_null_padding_into_empty_string(self):
+        engine = Engine(self.db, SIM_MARIADB)
+        buggy = engine.execute(self.query, bnlh_join_hints())
+        assert (1, "") in buggy.normalized()
+        reference = engine.execute(self.query, hash_join_hints())
+        assert (1, NULL) in reference.normalized()
+
+    def test_outer_join_cache_switch_drops_matched_rows(self):
+        engine = Engine(self.db, SIM_MARIADB)
+        buggy = engine.execute(self.query, join_cache_off_hints("outer_join_with_cache"))
+        assert (0, "one") not in buggy.normalized()
+
+
+class TestListing6XdbLeftJoinConversion:
+    """Listing 6: LEFT JOIN silently converted to INNER JOIN (plan-independent)."""
+
+    def setup_method(self):
+        self.db = build_db(child_rows=[1.0, NULL, 5.0], parent_rows=[(1.0, "one")])
+        self.query = join_query(JoinType.LEFT_OUTER)
+
+    def test_every_plan_loses_the_unmatched_rows(self):
+        engine = Engine(self.db, SIM_XDB)
+        reference = reference_engine(self.db).execute(self.query)
+        results = set()
+        for hints in (hash_join_hints(), nested_loop_hints(), merge_join_hints()):
+            results.add(engine.execute(self.query, hints).normalized())
+        assert len(results) == 1
+        observed = results.pop()
+        assert observed != reference.normalized()
+        assert (1, NULL) not in observed and (2, NULL) not in observed
+
+
+class TestListing7XdbSemiJoinWithoutMaterialization:
+    """Listing 7: semi-join without materialization returns extra rows."""
+
+    def setup_method(self):
+        self.db = build_db(child_rows=[1.0, 42.0], parent_rows=[(1.0, "one")])
+        self.query = join_query(JoinType.SEMI, project_parent=False)
+
+    def test_extra_row_only_without_materialization(self):
+        engine = Engine(self.db, SIM_XDB)
+        with_mat = engine.execute(self.query, hash_join_hints())
+        without_mat = engine.execute(self.query, no_materialization_hints(hash_join_hints()))
+        assert with_mat.normalized() == frozenset({(0,)})
+        assert (1,) in without_mat.normalized()

@@ -1,0 +1,103 @@
+"""Tests for the wide table container and the synthetic dataset builders."""
+
+import random
+
+import pytest
+
+from repro.catalog import Column
+from repro.dsg import DATASETS, WideTable, build_dataset
+from repro.dsg.fd import holds
+from repro.errors import SchemaError
+from repro.sqlvalue import NULL, integer, varchar
+
+
+class TestWideTable:
+    def _table(self) -> WideTable:
+        return WideTable(
+            [Column("id", integer()), Column("name", varchar(10))],
+            rows=[{"id": 1, "name": "a"}, {"id": 2, "name": "b"}],
+        )
+
+    def test_append_and_rowid(self):
+        table = self._table()
+        row_id = table.append({"id": 3})
+        assert row_id == 2
+        assert table.row(2)["name"] is NULL
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self._table().append({"bogus": 1})
+        with pytest.raises(SchemaError):
+            WideTable([Column("a", integer()), Column("a", integer())])
+        with pytest.raises(SchemaError):
+            WideTable([])
+
+    def test_set_cell_and_column_values(self):
+        table = self._table()
+        table.set_cell(0, "name", NULL)
+        assert table.column_values("name") == [NULL, "b"]
+
+    def test_distinct_values_skip_null(self):
+        table = self._table()
+        table.append({"id": 1, "name": "a"})
+        table.set_cell(1, "name", NULL)
+        assert table.distinct_values("name") == ["a"]
+
+    def test_projection_subset_of_rows(self):
+        table = self._table()
+        assert table.projection(["name"], [1]) == [("b",)]
+
+    def test_copy_is_independent(self):
+        table = self._table()
+        clone = table.copy()
+        clone.set_cell(0, "name", "changed")
+        assert table.row(0)["name"] == "a"
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_builders_produce_requested_size(self, name):
+        spec = build_dataset(name, 90, random.Random(1))
+        assert len(spec.wide) >= 90
+        assert spec.key_columns
+        assert spec.planted_fds
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_planted_fds_hold_in_the_data(self, name):
+        spec = build_dataset(name, 120, random.Random(2))
+        for fd in spec.planted_fds:
+            assert holds(spec.wide, fd.lhs, fd.rhs), f"{fd} violated in {name}"
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_key_columns_are_unique_identifiers(self, name):
+        spec = build_dataset(name, 120, random.Random(3))
+        for column in spec.wide.column_names:
+            if column in spec.key_columns:
+                continue
+            assert holds(spec.wide, spec.key_columns, column)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_dataset("nope")
+
+    def test_shopping_matches_figure3_columns(self):
+        spec = build_dataset("shopping", 50, random.Random(4))
+        assert set(spec.wide.column_names) == {
+            "orderId", "goodsId", "goodsName", "userId", "userName", "price"
+        }
+
+    def test_tpch_contains_negative_zero_discounts(self):
+        spec = build_dataset("tpch", 200, random.Random(5))
+        discounts = spec.wide.column_values("discount")
+        assert any(str(v) == "-0.0" for v in discounts)
+        assert any(str(v) == "0.0" for v in discounts)
+
+    def test_kddcup_amounts_have_fractional_decimals(self):
+        spec = build_dataset("kddcup", 100, random.Random(6))
+        amounts = {str(v) for v in spec.wide.column_values("amount")}
+        assert any("." in a and not a.endswith(".00") for a in amounts)
+
+    def test_deterministic_given_seed(self):
+        first = build_dataset("shopping", 60, random.Random(9))
+        second = build_dataset("shopping", 60, random.Random(9))
+        assert first.wide.rows == second.wide.rows
