@@ -18,11 +18,21 @@ Quickstart
 True
 """
 
+from repro.backends import (
+    BackendAdapter,
+    SQLDialectSpec,
+    SQLITE_DIALECT,
+    SQLRenderer,
+    SQLiteBackend,
+    SimulatedBackend,
+)
 from repro.core import (
     BugIncident,
     BugLog,
     CampaignConfig,
     CampaignResult,
+    DifferentialOracle,
+    DifferentialTester,
     ParallelSearchConfig,
     ParallelSearchSimulator,
     QueryReducer,
@@ -30,6 +40,7 @@ from repro.core import (
     TQSConfig,
     run_ablation,
     run_baseline_campaign,
+    run_differential_campaign,
     run_tqs_campaign,
 )
 from repro.dsg import DSG, DSGConfig, GroundTruthOracle, WideTable
@@ -52,12 +63,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_DIALECTS",
+    "BackendAdapter",
     "BugIncident",
     "BugLog",
     "CampaignConfig",
     "CampaignResult",
     "DSG",
     "DSGConfig",
+    "DifferentialOracle",
+    "DifferentialTester",
     "Engine",
     "GroundTruthOracle",
     "HintSet",
@@ -69,6 +83,11 @@ __all__ = [
     "QueryReducer",
     "QuerySpec",
     "ResultSet",
+    "SQLDialectSpec",
+    "SQLITE_DIALECT",
+    "SQLRenderer",
+    "SQLiteBackend",
+    "SimulatedBackend",
     "SIM_MARIADB",
     "SIM_MYSQL",
     "SIM_TIDB",
@@ -80,6 +99,7 @@ __all__ = [
     "reference_engine",
     "run_ablation",
     "run_baseline_campaign",
+    "run_differential_campaign",
     "run_tqs_campaign",
     "standard_hint_sets",
     "__version__",

@@ -12,6 +12,7 @@ from repro.analysis.reporting import (
     render_bug_type_details,
     render_dbms_overview,
     render_detected_bugs,
+    render_differential_summary,
     render_series,
     render_table,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "render_bug_type_details",
     "render_dbms_overview",
     "render_detected_bugs",
+    "render_differential_summary",
     "render_series",
     "render_table",
     "saturation_hour",

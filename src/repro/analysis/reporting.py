@@ -115,3 +115,39 @@ def render_ablation(results: Mapping[str, Mapping[str, CampaignResult]]) -> str:
                          final.bug_type_count])
     headers = ["DBMS", "Approach", "Query graph diversity", "Bug count", "Bug types"]
     return render_table(headers, rows, title="Table 5: ablation test over model composition")
+
+
+def render_differential_summary(result: CampaignResult,
+                                max_incidents: int = 3) -> str:
+    """Summary of one cross-engine differential campaign.
+
+    Unlike the simulated campaigns, a real backend cannot announce root-cause
+    fault ids, so this report leads with the raw mismatch evidence: per-hour
+    totals plus the first few offending SQL statements.
+    """
+    final = result.final
+    rows = [
+        ["backend", result.dbms],
+        ["dataset", result.dataset],
+        ["hours", final.hour],
+        ["queries generated", final.queries_generated],
+        ["comparisons", final.queries_executed],
+        ["isomorphic sets", final.isomorphic_sets],
+        ["mismatches (bugs)", final.bug_count],
+    ]
+    text = render_table(["Metric", "Value"], rows,
+                        title=f"Differential campaign: {result.tool} vs {result.dbms}")
+    if result.bug_log is None or not result.bug_log.incidents:
+        return text + "\n(no mismatches: backend agrees with the reference executor)"
+    lines = [text, ""]
+    for incident in result.bug_log.incidents[:max_incidents]:
+        lines.append(
+            f"mismatch ({incident.expected_rows} reference rows vs "
+            f"{incident.observed_rows} backend rows):"
+        )
+        lines.append(incident.query_sql)
+        lines.append("")
+    remaining = len(result.bug_log.incidents) - max_incidents
+    if remaining > 0:
+        lines.append(f"... ({remaining} more incidents)")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,35 @@
+"""Real-DBMS backend subsystem: SQL rendering plus engine adapters.
+
+This package is the bridge between the TQS pipeline's internal IR and external
+database engines.  :mod:`repro.backends.sqlrender` serializes query specs,
+expression trees and DSG-generated databases into dialect-parameterized SQL;
+:mod:`repro.backends.base` defines the adapter protocol every engine implements;
+:mod:`repro.backends.sqlite_backend` is the first real adapter (stdlib sqlite3)
+and :mod:`repro.backends.simulated` adapts the in-process engines to the same
+interface.  The differential oracle driving these adapters lives in
+:mod:`repro.core.differential`.
+"""
+
+from repro.backends.base import BackendAdapter, BackendExecution
+from repro.backends.simulated import SimulatedBackend
+from repro.backends.sqlite_backend import SQLiteBackend, to_sqlite_value
+from repro.backends.sqlrender import (
+    ANSI_DIALECT,
+    MYSQL_DIALECT,
+    SQLITE_DIALECT,
+    SQLDialectSpec,
+    SQLRenderer,
+)
+
+__all__ = [
+    "ANSI_DIALECT",
+    "BackendAdapter",
+    "BackendExecution",
+    "MYSQL_DIALECT",
+    "SQLDialectSpec",
+    "SQLITE_DIALECT",
+    "SQLRenderer",
+    "SQLiteBackend",
+    "SimulatedBackend",
+    "to_sqlite_value",
+]

@@ -7,7 +7,15 @@ from repro.core.campaign import (
     HourlySample,
     run_ablation,
     run_baseline_campaign,
+    run_differential_campaign,
     run_tqs_campaign,
+)
+from repro.core.differential import (
+    DifferentialConfig,
+    DifferentialOracle,
+    DifferentialOutcome,
+    DifferentialTester,
+    result_sets_match,
 )
 from repro.core.parallel import (
     ParallelSearchConfig,
@@ -22,6 +30,10 @@ __all__ = [
     "BugLog",
     "CampaignConfig",
     "CampaignResult",
+    "DifferentialConfig",
+    "DifferentialOracle",
+    "DifferentialOutcome",
+    "DifferentialTester",
     "HourlySample",
     "IterationOutcome",
     "ParallelSearchConfig",
@@ -30,7 +42,9 @@ __all__ = [
     "QueryReducer",
     "TQS",
     "TQSConfig",
+    "result_sets_match",
     "run_ablation",
     "run_baseline_campaign",
+    "run_differential_campaign",
     "run_tqs_campaign",
 ]

@@ -15,12 +15,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.backends.base import BackendAdapter
 from repro.baselines.base import BaselineTester
 from repro.core.bug_report import BugLog
+from repro.core.differential import DifferentialConfig, DifferentialTester
 from repro.core.tqs import TQS, TQSConfig
 from repro.dsg.pipeline import DSG, DSGConfig
 from repro.engine.dialects import DialectProfile
-from repro.engine.engine import Engine
+from repro.engine.engine import Engine, reference_engine
 from repro.errors import CampaignError, GenerationError
 
 
@@ -137,7 +139,13 @@ def run_baseline_campaign(baseline: BaselineTester, dialect: DialectProfile,
     result = CampaignResult(tool=baseline.name, dbms=dialect.name, dataset=config.dataset)
     for hour in range(1, config.hours + 1):
         for _ in range(config.queries_per_hour):
-            baseline.run_iteration()
+            # Baseline generators walk the same schema graph as TQS and can hit
+            # the same dead ends; one failed generation must not abort the
+            # whole campaign (mirrors the TQS loop above).
+            try:
+                baseline.run_iteration()
+            except GenerationError:
+                continue
         result.samples.append(
             HourlySample(
                 hour=hour,
@@ -149,6 +157,54 @@ def run_baseline_campaign(baseline: BaselineTester, dialect: DialectProfile,
             )
         )
     result.bug_log = baseline.bug_log
+    return result
+
+
+def run_differential_campaign(backend: BackendAdapter,
+                              config: Optional[CampaignConfig] = None,
+                              reference: Optional[Engine] = None,
+                              differential: Optional[DifferentialConfig] = None
+                              ) -> CampaignResult:
+    """Run the TQS generator differentially against a real (or wrapped) backend.
+
+    The DSG-generated, noise-injected database is deployed into *backend*
+    (rendered CREATE TABLE / INSERT for real engines), then every generated
+    query executes on both the bug-free reference executor and the backend; any
+    normalized-result disagreement is recorded as a bug incident.  The returned
+    :class:`CampaignResult` carries the same per-hour series as the simulated
+    campaigns, so the analysis/reporting layer works unchanged.
+    """
+    config = config or CampaignConfig()
+    dsg = DSG(config.dsg_config())
+    differential = differential or DifferentialConfig(
+        use_kqe=config.use_kqe, seed=config.seed
+    )
+    reference = reference or reference_engine(dsg.database)
+    backend.deploy(dsg.database)
+    tester = DifferentialTester(dsg, backend, reference=reference,
+                                config=differential)
+    result = CampaignResult(tool="TQS-differential", dbms=backend.name,
+                            dataset=config.dataset)
+    try:
+        for hour in range(1, config.hours + 1):
+            for _ in range(config.queries_per_hour):
+                try:
+                    tester.run_iteration()
+                except GenerationError:
+                    continue
+            result.samples.append(
+                HourlySample(
+                    hour=hour,
+                    queries_generated=tester.queries_generated,
+                    queries_executed=tester.queries_executed,
+                    isomorphic_sets=tester.explored_isomorphic_sets,
+                    bug_count=tester.bug_log.bug_count,
+                    bug_type_count=tester.bug_log.bug_type_count,
+                )
+            )
+    finally:
+        backend.close()
+    result.bug_log = tester.bug_log
     return result
 
 

@@ -1,0 +1,231 @@
+"""Differential oracle: reference executor vs an external backend.
+
+The simulated campaigns verify engine results against the wide-table ground
+truth.  When the target is a *real* engine (SQLite today; DuckDB / MySQL /
+Postgres adapters later), the reference executor plays the role SQLancer's
+baselines give to a second implementation: every TQS-generated query runs on
+both sides, the result sets are normalized (column order ignored, rows compared
+as sets under canonical numeric forms, floats within tolerance), and any
+disagreement is filed through the existing :class:`~repro.core.bug_report.BugLog`.
+
+The normalization rules mirror the repo's own result-set semantics
+(:meth:`~repro.engine.resultset.ResultSet.normalized`): generated queries are
+DISTINCT projections, so sets — not multisets — are the comparison domain, and
+:func:`~repro.sqlvalue.comparison.values_close` absorbs representation drift
+such as the reference's exact ``Decimal`` vs a backend's ``REAL``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.backends.base import BackendAdapter, BackendExecution
+from repro.core.bug_report import BugIncident, BugLog
+from repro.dsg.pipeline import DSG
+from repro.engine.engine import Engine
+from repro.engine.resultset import ResultSet
+from repro.errors import BackendError, GenerationError, RenderError
+from repro.kqe.explorer import KQE
+from repro.kqe.isomorphism import IsomorphicSetCounter
+from repro.kqe.query_graph import QueryGraphBuilder
+from repro.plan.logical import QuerySpec
+from repro.sqlvalue.comparison import values_close
+from repro.sqlvalue.values import row_sort_key
+
+
+@dataclass
+class DifferentialConfig:
+    """Knobs of the cross-engine comparison."""
+
+    float_rel_tol: float = 1e-9
+    float_abs_tol: float = 1e-12
+    use_kqe: bool = True
+    max_generation_retries: int = 5
+    seed: int = 97
+
+
+def result_sets_match(reference: ResultSet, observed: ResultSet,
+                      rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Order-insensitive, duplicate-insensitive, float-tolerant set equality."""
+    ref_rows = reference.normalized()
+    obs_rows = observed.normalized()
+    if ref_rows == obs_rows:
+        return True
+    # Tolerant fallback: compare the deduplicated rows pairwise in sorted
+    # order, allowing per-cell float drift.  Rows whose sort position shifts
+    # under drift larger than the tolerance are genuine mismatches anyway.
+    ref_sorted = sorted(ref_rows, key=row_sort_key)
+    obs_sorted = sorted(obs_rows, key=row_sort_key)
+    if len(ref_sorted) != len(obs_sorted):
+        return False
+    for ref_row, obs_row in zip(ref_sorted, obs_sorted):
+        if len(ref_row) != len(obs_row):
+            return False
+        for ref_value, obs_value in zip(ref_row, obs_row):
+            if not values_close(ref_value, obs_value, rel_tol=rel_tol,
+                                abs_tol=abs_tol):
+                return False
+    return True
+
+
+@dataclass
+class DifferentialOutcome:
+    """What one differential iteration observed."""
+
+    query: QuerySpec
+    canonical_label: str
+    sql: str
+    matched: bool
+    skipped: bool = False
+    skip_reason: str = ""
+    incident: Optional[BugIncident] = None
+    reference_rows: int = 0
+    observed_rows: int = 0
+
+    @property
+    def detected(self) -> bool:
+        """True when the backend disagreed with the reference executor."""
+        return not self.matched and not self.skipped
+
+
+class DifferentialOracle:
+    """Compares one backend against the bug-free reference executor."""
+
+    def __init__(self, reference: Engine, backend: BackendAdapter,
+                 bug_log: Optional[BugLog] = None,
+                 config: Optional[DifferentialConfig] = None) -> None:
+        self.reference = reference
+        self.backend = backend
+        self.bug_log = bug_log if bug_log is not None else BugLog()
+        self.config = config or DifferentialConfig()
+        self.comparisons = 0
+        self.skipped = 0
+
+    def check(self, query: QuerySpec, label: str = "") -> DifferentialOutcome:
+        """Run *query* on both sides and record any mismatch."""
+        if query.limit is not None:
+            # LIMIT without a total order picks an engine-chosen subset; two
+            # correct engines may legitimately disagree, so it is incomparable.
+            self.skipped += 1
+            return DifferentialOutcome(
+                query=query, canonical_label=label, sql="", matched=True,
+                skipped=True, skip_reason="LIMIT result is engine-defined",
+            )
+        try:
+            execution: BackendExecution = self.backend.execute(query)
+        except (RenderError, BackendError) as error:
+            # A query the dialect cannot express (RenderError) or the engine
+            # rejects at runtime (BackendError) is not a *logic* bug; skipping
+            # it keeps one unsupported construct from aborting a long campaign
+            # and discarding every result gathered so far.
+            self.skipped += 1
+            return DifferentialOutcome(
+                query=query, canonical_label=label, sql="", matched=True,
+                skipped=True, skip_reason=str(error),
+            )
+        reference_result = self.reference.execute(query)
+        self.comparisons += 1
+        matched = result_sets_match(
+            reference_result, execution.result,
+            rel_tol=self.config.float_rel_tol,
+            abs_tol=self.config.float_abs_tol,
+        )
+        outcome = DifferentialOutcome(
+            query=query,
+            canonical_label=label,
+            sql=execution.sql,
+            matched=matched,
+            reference_rows=len(reference_result),
+            observed_rows=len(execution.result),
+        )
+        if not matched:
+            incident = BugIncident(
+                dbms=self.backend.name,
+                query_sql=execution.sql or query.render(),
+                hint_name="default",
+                detection_mode="backend_differential",
+                query_canonical_label=label,
+                fired_bug_ids=execution.fired_bug_ids,
+                expected_rows=len(reference_result),
+                observed_rows=len(execution.result),
+            )
+            self.bug_log.record(incident)
+            outcome.incident = incident
+        return outcome
+
+
+class DifferentialTester:
+    """The TQS loop re-targeted at a backend: generate, render, execute, compare.
+
+    Mirrors :class:`~repro.core.tqs.TQS` (generation retries, KQE guidance,
+    diversity accounting) but replaces the wide-table ground-truth verification
+    with the differential oracle.  One instance drives one backend over one
+    DSG-generated database.
+    """
+
+    def __init__(self, dsg: DSG, backend: BackendAdapter,
+                 reference: Optional[Engine] = None,
+                 config: Optional[DifferentialConfig] = None) -> None:
+        self.dsg = dsg
+        self.backend = backend
+        self.config = config or DifferentialConfig()
+        self.reference = reference or Engine(dsg.database)
+        self.oracle = DifferentialOracle(
+            self.reference, backend, config=self.config
+        )
+        self.kqe = (
+            KQE(dsg.ndb.schema, rng=random.Random(self.config.seed + 1))
+            if self.config.use_kqe else None
+        )
+        self.graph_builder = QueryGraphBuilder(dsg.ndb.schema)
+        self.diversity = IsomorphicSetCounter()
+        self.queries_generated = 0
+        self.outcomes: List[DifferentialOutcome] = []
+
+    @property
+    def bug_log(self) -> BugLog:
+        """The accumulated mismatch log."""
+        return self.oracle.bug_log
+
+    @property
+    def queries_executed(self) -> int:
+        """Number of cross-engine comparisons performed."""
+        return self.oracle.comparisons
+
+    @property
+    def explored_isomorphic_sets(self) -> int:
+        """Distinct query-graph isomorphism classes generated so far."""
+        return self.diversity.distinct_sets
+
+    def _generate(self) -> QuerySpec:
+        chooser = self.kqe.extension_chooser if self.kqe is not None else None
+        last_error: Optional[Exception] = None
+        for _ in range(self.config.max_generation_retries):
+            try:
+                return self.dsg.generate_query(extension_chooser=chooser)
+            except GenerationError as error:
+                last_error = error
+        raise GenerationError(f"query generation kept failing: {last_error}")
+
+    def run_iteration(self) -> DifferentialOutcome:
+        """Generate one query and compare the backend against the reference."""
+        query = self._generate()
+        self.queries_generated += 1
+        label = self.graph_builder.build(query).canonical_label()
+        self.diversity.add_label(label)
+        if self.kqe is not None:
+            self.kqe.register(query)
+        outcome = self.oracle.check(query, label)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def run(self, iterations: int) -> BugLog:
+        """Run several iterations, skipping failed generations."""
+        for _ in range(iterations):
+            try:
+                self.run_iteration()
+            except GenerationError:
+                continue
+        return self.bug_log

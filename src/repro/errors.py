@@ -53,3 +53,11 @@ class GenerationError(ReproError):
 
 class CampaignError(ReproError):
     """Raised for invalid testing-campaign configurations."""
+
+
+class BackendError(ReproError):
+    """Raised when a real-DBMS backend adapter fails (connection, load, execute)."""
+
+
+class RenderError(BackendError):
+    """Raised when the IR cannot be rendered as SQL for the target dialect."""

@@ -7,7 +7,12 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from repro.errors import ExecutionError
 from repro.expr.ast import ColumnRef, EvalContext, Expression
-from repro.plan.logical import AggregateFunction, OrderItem, SelectItem
+from repro.plan.logical import (
+    AggregateFunction,
+    OrderItem,
+    SelectItem,
+    unique_output_names,
+)
 from repro.plan.physical import ExecRow, PhysicalOperator
 from repro.sqlvalue.comparison import truth_value
 from repro.sqlvalue.values import NULL, is_null, normalize_row, row_sort_key, value_sort_key
@@ -87,7 +92,7 @@ class Project(PhysicalOperator):
         self.subquery_executor = subquery_executor
 
     def output_columns(self) -> List[str]:
-        return [item.output_name(i) for i, item in enumerate(self.items)]
+        return unique_output_names(self.items)
 
     def children(self) -> List[PhysicalOperator]:
         return [self.child]

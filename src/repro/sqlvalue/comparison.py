@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from decimal import Decimal
 from typing import Any, Optional
 
@@ -130,6 +131,35 @@ def truth_value(value: Any) -> Optional[bool]:
     if isinstance(value, (int, float, Decimal)):
         return value != 0
     return to_double_lossy(value) != 0.0
+
+
+def values_close(left: Any, right: Any, rel_tol: float = 1e-9,
+                 abs_tol: float = 1e-12) -> bool:
+    """Equality with float tolerance, used by the cross-engine result comparison.
+
+    Exact SQL equality (via :func:`sql_compare`) short-circuits; otherwise two
+    floating-point representations of the same logical value (e.g. a ``Decimal``
+    computed by the reference executor vs the ``REAL`` a real engine stores) are
+    accepted when they agree within the given relative/absolute tolerance.
+    NULL only matches NULL.
+    """
+    left_null = is_null(left)
+    right_null = is_null(right)
+    if left_null or right_null:
+        return left_null and right_null
+    if sql_compare(left, right) == 0:
+        return True
+    involves_float = isinstance(left, (float, Decimal)) or isinstance(
+        right, (float, Decimal)
+    )
+    if not involves_float:
+        return False
+    try:
+        a = float(left)
+        b = float(right)
+    except (TypeError, ValueError):
+        return False
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
 
 
 def correct_hash_key(value: Any) -> Any:

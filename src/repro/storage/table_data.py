@@ -100,6 +100,18 @@ class TableData:
                 matches.append(index)
         return matches
 
+    def rows_as_tuples(self, columns: Optional[Sequence[str]] = None) -> List[tuple]:
+        """All rows as positional tuples in *columns* order (schema order default).
+
+        This is the bulk-export shape backend adapters feed to parameterized
+        INSERT statements.
+        """
+        names = tuple(columns) if columns is not None else self.schema.column_names
+        for name in names:
+            if not self.schema.has_column(name):
+                raise ExecutionError(f"{self.schema.name!r} has no column {name!r}")
+        return [tuple(row[name] for name in names) for row in self._rows]
+
     def copy(self) -> "TableData":
         """Deep-enough copy: rows are copied, values are shared (immutable)."""
         clone = TableData(self.schema)

@@ -1,0 +1,185 @@
+"""Differential oracle and campaign tests (acceptance criteria of the backends PR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CampaignConfig,
+    SIM_MYSQL,
+    SQLiteBackend,
+    SimulatedBackend,
+    run_baseline_campaign,
+    run_differential_campaign,
+)
+from repro.baselines.base import BaselineTester
+from repro.core.differential import (
+    DifferentialConfig,
+    DifferentialOracle,
+    DifferentialTester,
+    result_sets_match,
+)
+from repro.dsg import DSG, DSGConfig
+from repro.engine import ResultSet, reference_engine
+from repro.errors import GenerationError
+from repro.plan.logical import QuerySpec, SelectItem, TableRef
+from repro.expr.ast import ColumnRef
+from repro.sqlvalue.values import NULL
+
+
+# ------------------------------------------------------------ result matching
+
+
+def test_result_sets_match_ignores_order_and_duplicates():
+    left = ResultSet(["a", "b"], [(1, "x"), (2, "y"), (2, "y")])
+    right = ResultSet(["a", "b"], [(2, "y"), (1, "x")])
+    assert result_sets_match(left, right)
+
+
+def test_result_sets_match_canonicalizes_numerics():
+    left = ResultSet(["a"], [(1,), (2.0,)])
+    right = ResultSet(["a"], [(1.0,), (2,)])
+    assert result_sets_match(left, right)
+
+
+def test_result_sets_match_float_tolerance():
+    left = ResultSet(["a", "b"], [(0.1 + 0.2, "x")])
+    right = ResultSet(["a", "b"], [(0.3, "x")])
+    assert result_sets_match(left, right)
+    assert not result_sets_match(
+        ResultSet(["a"], [(0.3,)]), ResultSet(["a"], [(0.4,)])
+    )
+
+
+def test_result_sets_match_null_only_matches_null():
+    assert not result_sets_match(
+        ResultSet(["a"], [(NULL,)]), ResultSet(["a"], [(0,)])
+    )
+    assert result_sets_match(
+        ResultSet(["a"], [(NULL,)]), ResultSet(["a"], [(NULL,)])
+    )
+
+
+def test_result_sets_match_detects_genuine_mismatch():
+    assert not result_sets_match(
+        ResultSet(["a"], [(1,), (2,)]), ResultSet(["a"], [(1,)])
+    )
+
+
+# ----------------------------------------------------------------- the oracle
+
+
+def test_oracle_skips_limit_queries():
+    dsg = DSG(DSGConfig(dataset="shopping", dataset_rows=80, seed=2))
+    backend = SimulatedBackend()
+    backend.deploy(dsg.database)
+    oracle = DifferentialOracle(reference_engine(dsg.database), backend)
+    table = dsg.database.table_names[0]
+    first_column = dsg.ndb.data_columns(table)[0]
+    query = QuerySpec(
+        base=TableRef(table, table),
+        select=[SelectItem(ColumnRef(table, first_column))],
+        limit=3,
+    )
+    outcome = oracle.check(query)
+    assert outcome.skipped and outcome.matched
+    assert oracle.comparisons == 0 and oracle.skipped == 1
+
+
+# ------------------------------------------------- acceptance: no false alarms
+
+
+def test_sqlite_differential_campaign_end_to_end():
+    """A real differential campaign runs on stdlib SQLite with zero false positives.
+
+    The backend is a correct engine and the reference executor is bug-free, so
+    every mismatch would be a false positive of the rendering/normalization
+    pipeline.
+    """
+    result = run_differential_campaign(SQLiteBackend(), CampaignConfig(hours=2))
+    assert len(result.samples) == 2
+    final = result.final
+    assert final.queries_executed > 0
+    assert final.queries_generated >= final.queries_executed
+    assert final.isomorphic_sets > 0
+    assert final.bug_count == 0, (
+        f"false positives against bug-free SQLite: "
+        f"{[i.query_sql for i in result.bug_log.incidents[:3]]}"
+    )
+    assert result.dbms == "SQLite"
+
+
+def test_sqlite_differential_campaign_other_dataset_seed():
+    result = run_differential_campaign(
+        SQLiteBackend(),
+        CampaignConfig(dataset="tpch", hours=2, queries_per_hour=8, seed=29),
+    )
+    assert result.final.queries_executed > 0
+    assert result.final.bug_count == 0
+
+
+# ------------------------------------------ sensitivity: seeded bugs are found
+
+
+def test_differential_campaign_detects_seeded_faults():
+    """Against a faulty simulated engine the same oracle must report bugs."""
+    result = run_differential_campaign(
+        SimulatedBackend(SIM_MYSQL),
+        CampaignConfig(hours=4, queries_per_hour=12, seed=5),
+    )
+    assert result.final.bug_count > 0
+    assert result.final.bug_type_count > 0
+    incident = result.bug_log.incidents[0]
+    assert incident.detection_mode == "backend_differential"
+    assert incident.fired_bug_ids  # simulated backends announce root causes
+
+
+def test_differential_tester_counters():
+    dsg = DSG(DSGConfig(dataset="shopping", dataset_rows=80, seed=4))
+    backend = SQLiteBackend()
+    backend.deploy(dsg.database)
+    tester = DifferentialTester(dsg, backend,
+                                config=DifferentialConfig(seed=4))
+    tester.run(10)
+    assert tester.queries_generated > 0
+    assert tester.queries_executed == tester.oracle.comparisons
+    assert tester.explored_isomorphic_sets > 0
+    assert tester.bug_log.bug_count == 0
+    backend.close()
+
+
+def test_backend_errors_are_skipped_not_fatal():
+    """A runtime rejection by the backend must not abort a campaign."""
+    from repro.errors import BackendError
+
+    class CrashyBackend(SimulatedBackend):
+        def execute(self, query):
+            raise BackendError("engine fell over")
+
+    result = run_differential_campaign(
+        CrashyBackend(), CampaignConfig(hours=2, queries_per_hour=3)
+    )
+    assert len(result.samples) == 2
+    assert result.final.queries_executed == 0
+    assert result.final.bug_count == 0
+
+
+# ------------------------------------------------ satellite: baseline campaign
+
+
+class _AlwaysFailingBaseline(BaselineTester):
+    name = "always-failing"
+
+    def run_iteration(self) -> None:
+        raise GenerationError("this baseline can never generate a query")
+
+
+def test_baseline_campaign_survives_generation_errors():
+    """One failed generation must not abort the whole baseline campaign."""
+    result = run_baseline_campaign(
+        _AlwaysFailingBaseline(), SIM_MYSQL,
+        CampaignConfig(hours=3, queries_per_hour=2, dataset_rows=80),
+    )
+    assert len(result.samples) == 3
+    assert result.final.queries_generated == 0
+    assert result.final.bug_count == 0

@@ -1,0 +1,203 @@
+"""Unit tests for the dialect-parameterized SQL renderer."""
+
+from __future__ import annotations
+
+import sqlite3
+from decimal import Decimal
+
+import pytest
+
+from repro.backends import (
+    ANSI_DIALECT,
+    MYSQL_DIALECT,
+    SQLITE_DIALECT,
+    SQLRenderer,
+)
+from repro.errors import RenderError
+from repro.expr.ast import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    column,
+    lit,
+)
+from repro.plan.logical import (
+    AggregateFunction,
+    JoinStep,
+    JoinType,
+    QuerySpec,
+    SelectItem,
+    TableRef,
+)
+from repro.sqlvalue.values import NULL
+
+
+@pytest.fixture
+def renderer() -> SQLRenderer:
+    return SQLRenderer(SQLITE_DIALECT)
+
+
+# ----------------------------------------------------------------- literals
+
+
+def test_literals(renderer: SQLRenderer):
+    assert renderer.literal(NULL) == "NULL"
+    assert renderer.literal(None) == "NULL"
+    assert renderer.literal(True) == "1"
+    assert renderer.literal(False) == "0"
+    assert renderer.literal(42) == "42"
+    assert renderer.literal(-1.5) == "-1.5"
+    assert renderer.literal(Decimal("15.10")) == "15.10"
+    assert renderer.literal("it's") == "'it''s'"
+
+
+def test_non_finite_floats_are_rejected(renderer: SQLRenderer):
+    with pytest.raises(RenderError):
+        renderer.literal(float("inf"))
+    with pytest.raises(RenderError):
+        renderer.literal(float("nan"))
+
+
+def test_identifier_quoting(renderer: SQLRenderer):
+    assert renderer.ident("orders") == '"orders"'
+    assert renderer.qualified("t1", "userId") == '"t1"."userId"'
+    mysql = SQLRenderer(MYSQL_DIALECT)
+    assert mysql.ident("orders") == "`orders`"
+    with pytest.raises(RenderError):
+        renderer.ident('bad"name')
+
+
+# -------------------------------------------------------------- expressions
+
+
+def test_expression_rendering(renderer: SQLRenderer):
+    expr = Or(
+        Comparison("<=", column("t", "a"), lit(3)),
+        Not(IsNull(column("t", "b"))),
+        Between(column("t", "c"), lit(1), lit(9), negated=True),
+        InList(column("t", "d"), (lit("x"), lit("y")), negated=True),
+    )
+    text = renderer.expression(expr)
+    assert '("t"."a" <= 3)' in text
+    assert '(NOT ("t"."b" IS NULL))' in text
+    assert 'NOT BETWEEN 1 AND 9' in text
+    assert "NOT IN ('x', 'y')" in text
+
+
+def test_null_safe_equal_is_dialect_specific():
+    expr = Comparison("<=>", column("t", "a"), lit(1))
+    assert "IS 1" in SQLRenderer(SQLITE_DIALECT).expression(expr)
+    assert "<=> 1" in SQLRenderer(MYSQL_DIALECT).expression(expr)
+    assert "IS NOT DISTINCT FROM" in SQLRenderer(ANSI_DIALECT).expression(expr)
+
+
+def test_division_casts_to_real_on_sqlite(renderer: SQLRenderer):
+    expr = Arithmetic("/", column("t", "a"), lit(2))
+    assert renderer.expression(expr) == '(CAST("t"."a" AS REAL) / 2)'
+    # SQLite would otherwise truncate: the reference divides in decimals.
+    connection = sqlite3.connect(":memory:")
+    assert connection.execute("SELECT CAST(7 AS REAL) / 2").fetchone()[0] == 3.5
+    assert connection.execute("SELECT 7 / 2").fetchone()[0] == 3
+
+
+def test_function_rendering(renderer: SQLRenderer):
+    expr = FunctionCall("coalesce", (column("t", "a"), lit(0)))
+    assert renderer.expression(expr) == 'COALESCE("t"."a", 0)'
+
+
+# ------------------------------------------------------------------ queries
+
+
+def _two_table_query(join_type: JoinType) -> QuerySpec:
+    step_kwargs = {}
+    if join_type is not JoinType.CROSS:
+        step_kwargs = dict(
+            left_key=ColumnRef("a", "k"), right_key=ColumnRef("b", "k")
+        )
+    return QuerySpec(
+        base=TableRef("ta", "a"),
+        joins=[JoinStep(TableRef("tb", "b"), join_type, **step_kwargs)],
+        select=[SelectItem(ColumnRef("a", "k"))],
+    )
+
+
+def test_semi_join_renders_as_exists(renderer: SQLRenderer):
+    sql = renderer.query(_two_table_query(JoinType.SEMI))
+    assert "EXISTS (SELECT 1 FROM" in sql
+    assert "IN (SELECT" not in sql
+    assert "JOIN" not in sql
+
+
+def test_anti_join_renders_as_not_exists(renderer: SQLRenderer):
+    sql = renderer.query(_two_table_query(JoinType.ANTI))
+    assert "NOT EXISTS (SELECT 1 FROM" in sql
+
+
+def test_unsupported_joins_raise_for_dialect():
+    mysql = SQLRenderer(MYSQL_DIALECT)
+    with pytest.raises(RenderError):
+        mysql.query(_two_table_query(JoinType.FULL_OUTER))
+    # SQLite 3.39+ parses FULL OUTER JOIN, so the sqlite spec allows it.
+    assert "FULL OUTER JOIN" in SQLRenderer(SQLITE_DIALECT).query(
+        _two_table_query(JoinType.FULL_OUTER)
+    )
+
+
+def test_aggregates_render_with_distinct(renderer: SQLRenderer):
+    query = QuerySpec(
+        base=TableRef("ta", "a"),
+        joins=[
+            JoinStep(TableRef("tb", "b"), JoinType.INNER,
+                     left_key=ColumnRef("a", "k"), right_key=ColumnRef("b", "k"))
+        ],
+        select=[
+            SelectItem(ColumnRef("a", "k")),
+            SelectItem(ColumnRef("b", "v"), aggregate=AggregateFunction.COUNT),
+        ],
+        group_by=[ColumnRef("a", "k")],
+    )
+    sql = renderer.query(query)
+    # The reference Project evaluates every aggregate over deduplicated inputs.
+    assert 'COUNT(DISTINCT "b"."v")' in sql
+    assert 'GROUP BY "a"."k"' in sql
+    assert "SELECT DISTINCT" not in sql
+
+
+def test_duplicate_output_names_are_disambiguated(renderer: SQLRenderer):
+    query = QuerySpec(
+        base=TableRef("ta", "a"),
+        joins=[
+            JoinStep(TableRef("tb", "b"), JoinType.INNER,
+                     left_key=ColumnRef("a", "k"), right_key=ColumnRef("b", "k"))
+        ],
+        select=[SelectItem(ColumnRef("a", "k")), SelectItem(ColumnRef("b", "k"))],
+    )
+    assert query.output_columns() == ["k", "k_1"]
+    sql = renderer.query(query)
+    assert 'AS "k"' in sql and 'AS "k_1"' in sql
+
+
+def test_hint_comments_only_where_meaningful():
+    query = _two_table_query(JoinType.INNER)
+    assert "/*+ HASH_JOIN */" in SQLRenderer(MYSQL_DIALECT).query(
+        query, hint_comment="HASH_JOIN"
+    )
+    assert "/*+" not in SQLRenderer(SQLITE_DIALECT).query(
+        query, hint_comment="HASH_JOIN"
+    )
+
+
+def test_rendered_query_parses_on_sqlite(renderer: SQLRenderer):
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE ta (k INTEGER)")
+    connection.execute("CREATE TABLE tb (k INTEGER)")
+    for join_type in JoinType:
+        sql = renderer.query(_two_table_query(join_type))
+        connection.execute(sql)  # must not raise
