@@ -33,6 +33,8 @@ from repro.core import (
     CampaignResult,
     DifferentialOracle,
     DifferentialTester,
+    ParallelCampaignConfig,
+    ParallelCampaignResult,
     ParallelSearchConfig,
     ParallelSearchSimulator,
     QueryReducer,
@@ -41,6 +43,9 @@ from repro.core import (
     run_ablation,
     run_baseline_campaign,
     run_differential_campaign,
+    run_parallel_baseline_campaign,
+    run_parallel_differential_campaign,
+    run_parallel_tqs_campaign,
     run_tqs_campaign,
 )
 from repro.dsg import DSG, DSGConfig, GroundTruthOracle, WideTable
@@ -78,6 +83,8 @@ __all__ = [
     "JoinType",
     "KQE",
     "KQEConfig",
+    "ParallelCampaignConfig",
+    "ParallelCampaignResult",
     "ParallelSearchConfig",
     "ParallelSearchSimulator",
     "QueryReducer",
@@ -100,6 +107,9 @@ __all__ = [
     "run_ablation",
     "run_baseline_campaign",
     "run_differential_campaign",
+    "run_parallel_baseline_campaign",
+    "run_parallel_differential_campaign",
+    "run_parallel_tqs_campaign",
     "run_tqs_campaign",
     "standard_hint_sets",
     "__version__",

@@ -15,6 +15,7 @@ from repro.analysis.reporting import (
     render_differential_summary,
     render_series,
     render_table,
+    render_worker_pool,
 )
 
 __all__ = [
@@ -29,5 +30,6 @@ __all__ = [
     "render_differential_summary",
     "render_series",
     "render_table",
+    "render_worker_pool",
     "saturation_hour",
 ]

@@ -117,6 +117,34 @@ def render_ablation(results: Mapping[str, Mapping[str, CampaignResult]]) -> str:
     return render_table(headers, rows, title="Table 5: ablation test over model composition")
 
 
+def render_worker_pool(outcome) -> str:
+    """Per-shard and merged summary of one multi-process parallel campaign.
+
+    *outcome* is a :class:`~repro.core.parallel.ParallelCampaignResult` (taken
+    by duck type to keep this module import-light).
+    """
+    rows = []
+    for shard_id, shard in enumerate(outcome.shards):
+        final = shard.final
+        rows.append(
+            ["shard %d" % shard_id, final.queries_generated,
+             final.generations_rejected, final.isomorphic_sets,
+             final.bug_count, final.bug_type_count]
+        )
+    merged_final = outcome.merged.final
+    rows.append(
+        ["MERGED", merged_final.queries_generated,
+         merged_final.generations_rejected, merged_final.isomorphic_sets,
+         merged_final.bug_count, merged_final.bug_type_count]
+    )
+    headers = ["worker", "queries", "rejected", "isomorphic sets", "bugs",
+               "bug types"]
+    title = (f"Parallel campaign: {outcome.workers} workers, "
+             f"{outcome.sync_rounds} sync rounds, "
+             f"{outcome.elapsed_seconds:.1f}s wall clock")
+    return render_table(headers, rows, title=title)
+
+
 def render_differential_summary(result: CampaignResult,
                                 max_incidents: int = 3) -> str:
     """Summary of one cross-engine differential campaign.

@@ -21,6 +21,30 @@ from repro.backends.sqlrender import (
     SQLRenderer,
 )
 
+
+def backend_from_name(name: str) -> BackendAdapter:
+    """Construct a backend adapter from a plain-string name.
+
+    Strings (unlike adapter instances) cross process boundaries, so this is
+    what the multi-process parallel campaign runner and the CLI use to describe
+    a differential shard's target: ``"sqlite"`` for the real SQLite adapter,
+    ``"sim:<DialectName>"`` (e.g. ``"sim:SimMySQL"``) for a simulated engine
+    with that dialect's seeded faults, and ``"sim"`` for the bug-free
+    reference wrapped in the adapter interface.
+    """
+    from repro.engine.dialects import dialect_by_name
+
+    if name == "sqlite":
+        return SQLiteBackend()
+    if name == "sim":
+        return SimulatedBackend()
+    if name.startswith("sim:"):
+        return SimulatedBackend(dialect_by_name(name[len("sim:"):]))
+    raise KeyError(
+        f"unknown backend {name!r}; expected 'sqlite', 'sim' or 'sim:<Dialect>'"
+    )
+
+
 __all__ = [
     "ANSI_DIALECT",
     "BackendAdapter",
@@ -31,5 +55,6 @@ __all__ = [
     "SQLRenderer",
     "SQLiteBackend",
     "SimulatedBackend",
+    "backend_from_name",
     "to_sqlite_value",
 ]

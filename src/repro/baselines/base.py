@@ -52,6 +52,11 @@ class BaselineTester:
         """Distinct query structures generated so far."""
         return self._diversity.distinct_sets
 
+    @property
+    def diversity(self) -> IsomorphicSetCounter:
+        """The structure-diversity counter (same surface as TQS testers)."""
+        return self._diversity
+
     # -------------------------------------------------------------- generation
 
     def random_join_query(self, max_joins: int = 3,

@@ -56,6 +56,17 @@ class BugLog:
         self._bug_keys.add(key)
         return True
 
+    def merge(self, other: "BugLog") -> int:
+        """Fold another log's incidents into this one; returns new-bug count.
+
+        Incidents re-run through :meth:`record`, so two logs reporting the
+        same (root cause, query structure) pair collapse into one bug.  Use
+        this to combine finished campaigns (e.g. the same dialect tested over
+        several datasets); the parallel runner's own merge replays incidents
+        hour by hour instead, because it must sample bug counts per hour.
+        """
+        return sum(1 for incident in other.incidents if self.record(incident))
+
     @property
     def bug_count(self) -> int:
         """Number of distinct bugs (unique test cases) found so far."""

@@ -7,17 +7,23 @@ each simulated "hour" corresponds to a fixed number of generated queries, and
 all per-hour series are reported against simulated hours.  Shapes (who grows
 faster, where curves flatten) are preserved; absolute per-hour magnitudes simply
 scale with the per-hour budget.
+
+All campaign kinds (TQS, baseline, differential) share one iteration loop,
+:func:`run_campaign_loop`: a tester object exposing ``run_iteration()`` plus the
+cumulative counters is driven hour by hour, rejected generations are counted
+instead of silently swallowed, and an optional per-hour hook receives the hour's
+deltas — the seam the multi-process parallel runner
+(:mod:`repro.core.parallel`) uses for index synchronization and merging.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.backends.base import BackendAdapter
 from repro.baselines.base import BaselineTester
-from repro.core.bug_report import BugLog
+from repro.core.bug_report import BugIncident, BugLog
 from repro.core.differential import DifferentialConfig, DifferentialTester
 from repro.core.tqs import TQS, TQSConfig
 from repro.dsg.pipeline import DSG, DSGConfig
@@ -36,6 +42,7 @@ class HourlySample:
     isomorphic_sets: int
     bug_count: int
     bug_type_count: int
+    generations_rejected: int = 0
 
 
 @dataclass
@@ -54,6 +61,16 @@ class CampaignResult:
         if not self.samples:
             raise CampaignError("campaign produced no samples")
         return self.samples[-1]
+
+    @property
+    def generations_rejected(self) -> int:
+        """Generations the walk abandoned over the whole campaign.
+
+        Surfaced so throughput numbers are honest: ``queries_generated`` counts
+        only successful generations, and this counts the attempts that burned
+        budget without producing a query.
+        """
+        return self.final.generations_rejected
 
     def series(self, attribute: str) -> List[int]:
         """One per-hour series, e.g. ``series('bug_count')``."""
@@ -86,13 +103,93 @@ class CampaignConfig:
         )
 
 
-def run_tqs_campaign(dialect: DialectProfile,
-                     config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run TQS against one simulated DBMS for a budgeted number of hours."""
-    config = config or CampaignConfig()
+# --------------------------------------------------------------- shared loop
+
+
+@dataclass
+class HourRecord:
+    """One simulated hour's deltas, handed to the ``on_hour`` hook.
+
+    ``new_labels`` are the canonical labels of isomorphic sets first explored
+    during this hour; ``new_incidents`` the bug incidents recorded during it.
+    Both are what a parallel worker must ship to the coordinator so the merged
+    campaign preserves the per-hour series contract.
+    """
+
+    hour: int
+    sample: HourlySample
+    new_labels: List[str]
+    new_incidents: List[BugIncident]
+
+
+OnHour = Callable[[HourRecord], None]
+
+
+def run_campaign_loop(tester, result: CampaignResult, hours: int,
+                      queries_per_hour: int,
+                      on_hour: Optional[OnHour] = None) -> CampaignResult:
+    """Drive any tester through a budgeted campaign, one shared loop.
+
+    *tester* must expose ``run_iteration()`` (raising
+    :class:`~repro.errors.GenerationError` when a walk dead-ends), the
+    cumulative counters ``queries_generated`` / ``queries_executed`` /
+    ``explored_isomorphic_sets``, a ``bug_log`` and a ``diversity``
+    isomorphic-set counter.  :class:`~repro.core.tqs.TQS`, every
+    :class:`~repro.baselines.base.BaselineTester` and
+    :class:`~repro.core.differential.DifferentialTester` all do.
+    """
+    rejected = 0
+    known_labels: Set[str] = set()
+    incident_watermark = 0
+    for hour in range(1, hours + 1):
+        for _ in range(queries_per_hour):
+            try:
+                tester.run_iteration()
+            except GenerationError:
+                # A failed generation must not abort the campaign, but it must
+                # not vanish either: it burned budget without a query.
+                rejected += 1
+        sample = HourlySample(
+            hour=hour,
+            queries_generated=tester.queries_generated,
+            queries_executed=tester.queries_executed,
+            isomorphic_sets=tester.explored_isomorphic_sets,
+            bug_count=tester.bug_log.bug_count,
+            bug_type_count=tester.bug_log.bug_type_count,
+            generations_rejected=rejected,
+        )
+        result.samples.append(sample)
+        if on_hour is not None:
+            current_labels = tester.diversity.labels
+            new_labels = sorted(current_labels - known_labels)
+            known_labels.update(new_labels)
+            new_incidents = list(tester.bug_log.incidents[incident_watermark:])
+            incident_watermark = len(tester.bug_log.incidents)
+            on_hour(HourRecord(hour=hour, sample=sample, new_labels=new_labels,
+                               new_incidents=new_incidents))
+    result.bug_log = tester.bug_log
+    return result
+
+
+# ----------------------------------------------------------- tester factories
+
+
+def tqs_variant_name(config: CampaignConfig) -> str:
+    """The Table 5 variant name implied by a campaign's ablation switches."""
+    if not config.use_noise:
+        return "TQS!Noise"
+    if not config.use_ground_truth:
+        return "TQS!GT"
+    if not config.use_kqe:
+        return "TQS!KQE"
+    return "TQS"
+
+
+def build_tqs_tester(dialect: DialectProfile, config: CampaignConfig) -> TQS:
+    """Construct the DSG + engine + TQS stack for one campaign (or shard)."""
     dsg = DSG(config.dsg_config())
     engine = Engine(dsg.database, dialect)
-    tqs = TQS(
+    return TQS(
         dsg,
         engine,
         TQSConfig(
@@ -101,70 +198,64 @@ def run_tqs_campaign(dialect: DialectProfile,
             seed=config.seed,
         ),
     )
-    variant = "TQS"
-    if not config.use_noise:
-        variant = "TQS!Noise"
-    elif not config.use_ground_truth:
-        variant = "TQS!GT"
-    elif not config.use_kqe:
-        variant = "TQS!KQE"
-    result = CampaignResult(tool=variant, dbms=dialect.name, dataset=config.dataset)
-    for hour in range(1, config.hours + 1):
-        for _ in range(config.queries_per_hour):
-            try:
-                tqs.run_iteration()
-            except GenerationError:
-                continue
-        result.samples.append(
-            HourlySample(
-                hour=hour,
-                queries_generated=tqs.queries_generated,
-                queries_executed=tqs.queries_executed,
-                isomorphic_sets=tqs.explored_isomorphic_sets,
-                bug_count=tqs.bug_log.bug_count,
-                bug_type_count=tqs.bug_log.bug_type_count,
-            )
-        )
-    result.bug_log = tqs.bug_log
-    return result
 
 
-def run_baseline_campaign(baseline: BaselineTester, dialect: DialectProfile,
-                          config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run one SQLancer-style baseline for the same budget."""
-    config = config or CampaignConfig()
+def build_baseline_tester(baseline: BaselineTester, dialect: DialectProfile,
+                          config: CampaignConfig) -> BaselineTester:
+    """Bind a baseline tester to a freshly generated database and engine."""
     dsg = DSG(config.dsg_config())
     engine = Engine(dsg.database, dialect)
     baseline.bind(dsg, engine, seed=config.seed)
-    result = CampaignResult(tool=baseline.name, dbms=dialect.name, dataset=config.dataset)
-    for hour in range(1, config.hours + 1):
-        for _ in range(config.queries_per_hour):
-            # Baseline generators walk the same schema graph as TQS and can hit
-            # the same dead ends; one failed generation must not abort the
-            # whole campaign (mirrors the TQS loop above).
-            try:
-                baseline.run_iteration()
-            except GenerationError:
-                continue
-        result.samples.append(
-            HourlySample(
-                hour=hour,
-                queries_generated=baseline.queries_generated,
-                queries_executed=baseline.queries_executed,
-                isomorphic_sets=baseline.explored_isomorphic_sets,
-                bug_count=baseline.bug_log.bug_count,
-                bug_type_count=baseline.bug_log.bug_type_count,
-            )
-        )
-    result.bug_log = baseline.bug_log
-    return result
+    return baseline
+
+
+def build_differential_tester(backend: BackendAdapter, config: CampaignConfig,
+                              reference: Optional[Engine] = None,
+                              differential: Optional[DifferentialConfig] = None
+                              ) -> DifferentialTester:
+    """Deploy a DSG database into *backend* and wrap it in a tester."""
+    dsg = DSG(config.dsg_config())
+    differential = differential or DifferentialConfig(
+        use_kqe=config.use_kqe, seed=config.seed
+    )
+    reference = reference or reference_engine(dsg.database)
+    backend.deploy(dsg.database)
+    return DifferentialTester(dsg, backend, reference=reference,
+                              config=differential)
+
+
+# ------------------------------------------------------------ campaign kinds
+
+
+def run_tqs_campaign(dialect: DialectProfile,
+                     config: Optional[CampaignConfig] = None,
+                     on_hour: Optional[OnHour] = None) -> CampaignResult:
+    """Run TQS against one simulated DBMS for a budgeted number of hours."""
+    config = config or CampaignConfig()
+    tqs = build_tqs_tester(dialect, config)
+    result = CampaignResult(tool=tqs_variant_name(config), dbms=dialect.name,
+                            dataset=config.dataset)
+    return run_campaign_loop(tqs, result, config.hours, config.queries_per_hour,
+                             on_hour=on_hour)
+
+
+def run_baseline_campaign(baseline: BaselineTester, dialect: DialectProfile,
+                          config: Optional[CampaignConfig] = None,
+                          on_hour: Optional[OnHour] = None) -> CampaignResult:
+    """Run one SQLancer-style baseline for the same budget."""
+    config = config or CampaignConfig()
+    baseline = build_baseline_tester(baseline, dialect, config)
+    result = CampaignResult(tool=baseline.name, dbms=dialect.name,
+                            dataset=config.dataset)
+    return run_campaign_loop(baseline, result, config.hours,
+                             config.queries_per_hour, on_hour=on_hour)
 
 
 def run_differential_campaign(backend: BackendAdapter,
                               config: Optional[CampaignConfig] = None,
                               reference: Optional[Engine] = None,
-                              differential: Optional[DifferentialConfig] = None
-                              ) -> CampaignResult:
+                              differential: Optional[DifferentialConfig] = None,
+                              on_hour: Optional[OnHour] = None) -> CampaignResult:
     """Run the TQS generator differentially against a real (or wrapped) backend.
 
     The DSG-generated, noise-injected database is deployed into *backend*
@@ -175,37 +266,15 @@ def run_differential_campaign(backend: BackendAdapter,
     campaigns, so the analysis/reporting layer works unchanged.
     """
     config = config or CampaignConfig()
-    dsg = DSG(config.dsg_config())
-    differential = differential or DifferentialConfig(
-        use_kqe=config.use_kqe, seed=config.seed
-    )
-    reference = reference or reference_engine(dsg.database)
-    backend.deploy(dsg.database)
-    tester = DifferentialTester(dsg, backend, reference=reference,
-                                config=differential)
+    tester = build_differential_tester(backend, config, reference=reference,
+                                       differential=differential)
     result = CampaignResult(tool="TQS-differential", dbms=backend.name,
                             dataset=config.dataset)
     try:
-        for hour in range(1, config.hours + 1):
-            for _ in range(config.queries_per_hour):
-                try:
-                    tester.run_iteration()
-                except GenerationError:
-                    continue
-            result.samples.append(
-                HourlySample(
-                    hour=hour,
-                    queries_generated=tester.queries_generated,
-                    queries_executed=tester.queries_executed,
-                    isomorphic_sets=tester.explored_isomorphic_sets,
-                    bug_count=tester.bug_log.bug_count,
-                    bug_type_count=tester.bug_log.bug_type_count,
-                )
-            )
+        return run_campaign_loop(tester, result, config.hours,
+                                 config.queries_per_hour, on_hour=on_hour)
     finally:
         backend.close()
-    result.bug_log = tester.bug_log
-    return result
 
 
 def run_ablation(dialect: DialectProfile, base_config: Optional[CampaignConfig] = None

@@ -2,26 +2,68 @@
 
 The paper parallelizes TQS by keeping the KQE graph index on a central server
 while each client owns a database replica and a DSG process; the only shared
-cost is synchronizing the index.  Re-creating a real multi-machine deployment is
-out of scope for a laptop reproduction, so :class:`ParallelSearchSimulator`
-reproduces the experiment's structure in-process: every simulated client runs
-its own generator against its own database copy, every generated query is pushed
-through the single shared graph index (the synchronization bottleneck), and the
-metric reported is the number of queries generated per simulated hour, as in
-Figure 10.
+cost is synchronizing the index.  This module provides both reproductions of
+that design:
+
+* :class:`ParallelSearchSimulator` — the original in-process model: every
+  simulated client runs its own generator against its own database copy, every
+  generated query is pushed through the single shared graph index, and the
+  metric reported is queries generated per simulated hour, as in Figure 10.
+
+* The **real worker pool** (:func:`run_parallel_shards` and the
+  ``run_parallel_*_campaign`` wrappers) — campaigns sharded across
+  ``multiprocessing`` worker processes by (derived seed, dataset,
+  dialect/backend).  Workers run the same shared iteration loop as the serial
+  runners (:func:`~repro.core.campaign.run_campaign_loop`); at hour boundaries
+  they ship batches of (embedding, canonical label) pairs to the coordinator,
+  which merges them into a central :class:`~repro.kqe.graph_index.GraphIndex`
+  and broadcasts the other workers' entries back — the paper's central-index
+  synchronization, bulk-synchronous so runs are deterministic.  The coordinator
+  merges per-worker bug logs with cross-worker bug-type deduplication and
+  rebuilds the per-hour series contract on the merged result.
+
+Run long campaigns from the command line::
+
+    python -m repro.core.parallel --workers 4 --hours 24 --queries-per-hour 12
 """
 
 from __future__ import annotations
 
+import argparse
+import hashlib
+import multiprocessing
+import queue as queue_module
 import random
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.bug_report import BugIncident, BugLog
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    HourRecord,
+    HourlySample,
+    build_baseline_tester,
+    build_differential_tester,
+    build_tqs_tester,
+    run_campaign_loop,
+    tqs_variant_name,
+)
 from repro.dsg.pipeline import DSG, DSGConfig
-from repro.errors import GenerationError
+from repro.errors import CampaignError, GenerationError
 from repro.kqe.explorer import KQE
-from repro.kqe.query_graph import QueryGraphBuilder
+from repro.kqe.graph_index import GraphIndex
+
+# Serialized index entries: (embedding as a plain list, canonical label).
+IndexEntry = Tuple[List[float], str]
+
+
+# =========================================================================
+# The in-process simulator (kept for the Figure 10 shape reproduction)
+# =========================================================================
 
 
 @dataclass
@@ -110,3 +152,582 @@ class ParallelSearchSimulator:
     def sweep(self, max_clients: int = 5) -> List[ParallelSearchResult]:
         """Run the Figure 10 sweep over 1..max_clients clients."""
         return [self.run(clients) for clients in range(1, max_clients + 1)]
+
+
+# =========================================================================
+# The real multi-process worker pool
+# =========================================================================
+
+
+def derive_worker_seed(campaign_seed: int, shard_id: int) -> int:
+    """A deterministic, well-separated per-shard seed.
+
+    Hash-derived (not ``seed + shard_id``) so neighbouring shards do not run
+    correlated DSG pipelines — shard 1 with seed 5 must not equal shard 0 with
+    seed 6.  Stable across processes and Python versions (unlike ``hash``).
+    """
+    digest = hashlib.sha256(f"tqs-shard:{campaign_seed}:{shard_id}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def shard_campaign_configs(config: CampaignConfig, workers: int) -> List[CampaignConfig]:
+    """Split one campaign budget across *workers* shard configurations.
+
+    Every shard keeps the full number of hours (so per-hour series line up for
+    merging) but receives ``queries_per_hour / workers`` of the generation
+    budget (remainder spread over the first shards) and a derived seed.
+    """
+    if workers < 1:
+        raise CampaignError("at least one worker is required")
+    # A shard with a zero budget would still pay a full DSG build and block
+    # every sync barrier while contributing nothing; never create one.
+    workers = max(1, min(workers, config.queries_per_hour))
+    if workers == 1:
+        # A 1-worker pool must be bitwise-identical to the serial runner on
+        # the same config, so the campaign seed passes through unchanged.
+        return [replace(config)]
+    base, remainder = divmod(config.queries_per_hour, workers)
+    shards = []
+    for shard_id in range(workers):
+        shards.append(
+            replace(
+                config,
+                queries_per_hour=base + (1 if shard_id < remainder else 0),
+                seed=derive_worker_seed(config.seed, shard_id),
+            )
+        )
+    return shards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's assignment: what to test, against what, with which seed.
+
+    Plain strings name the dialect / baseline / backend so the spec pickles
+    across process boundaries; the worker materializes the actual objects.
+    """
+
+    shard_id: int
+    kind: str  # "tqs" | "baseline" | "differential"
+    config: CampaignConfig
+    dialect: str = "SimMySQL"
+    baseline: str = ""          # baseline name when kind == "baseline"
+    backend: str = "sqlite"     # backend name when kind == "differential"
+
+
+@dataclass
+class ParallelCampaignConfig:
+    """Knobs of the multi-process deployment."""
+
+    workers: int = 4
+    sync_interval: int = 1       # simulated hours between index syncs; 0 = never
+    # Seconds without hearing from ANY worker (liveness heartbeats, syncs,
+    # results) before the pool is declared dead and the run fails fast.
+    worker_timeout: float = 300.0
+    start_method: Optional[str] = None  # None = platform default ("fork" on Linux)
+
+
+@dataclass
+class WorkerReport:
+    """Everything a worker ships home when its shard completes."""
+
+    shard_id: int
+    tool: str
+    dbms: str
+    dataset: str
+    samples: List[HourlySample]
+    hourly_new_labels: List[List[str]]
+    hourly_incidents: List[List[BugIncident]]
+    unsynced_entries: List[IndexEntry] = field(default_factory=list)
+
+
+@dataclass
+class ParallelCampaignResult:
+    """Merged outcome of one multi-process campaign."""
+
+    merged: CampaignResult
+    shards: List[CampaignResult]
+    workers: int
+    sync_rounds: int
+    elapsed_seconds: float
+    central_index_size: int
+    central_distinct_labels: int
+
+    @property
+    def queries_per_second(self) -> float:
+        """Aggregate generation throughput over wall-clock time."""
+        generated = self.merged.final.queries_generated
+        if self.elapsed_seconds <= 0:
+            return float(generated)
+        return generated / self.elapsed_seconds
+
+
+def _sync_hours(hours: int, sync_interval: int) -> Tuple[int, ...]:
+    """The hour boundaries at which workers and coordinator rendezvous.
+
+    The final hour is excluded — there is no further generation a sync could
+    inform, and skipping it removes one pointless barrier.
+    """
+    if sync_interval <= 0:
+        return ()
+    return tuple(h for h in range(1, hours) if h % sync_interval == 0)
+
+
+def _build_shard_tester(spec: ShardSpec):
+    """Materialize the tester (and display metadata) for one shard."""
+    from repro.baselines import make_baseline
+    from repro.engine.dialects import dialect_by_name
+
+    if spec.kind == "tqs":
+        dialect = dialect_by_name(spec.dialect)
+        tester = build_tqs_tester(dialect, spec.config)
+        return tester, tqs_variant_name(spec.config), dialect.name
+    if spec.kind == "baseline":
+        dialect = dialect_by_name(spec.dialect)
+        tester = build_baseline_tester(make_baseline(spec.baseline), dialect,
+                                       spec.config)
+        return tester, tester.name, dialect.name
+    if spec.kind == "differential":
+        from repro.backends import backend_from_name
+
+        backend = backend_from_name(spec.backend)
+        tester = build_differential_tester(backend, spec.config)
+        return tester, "TQS-differential", backend.name
+    raise CampaignError(f"unknown shard kind {spec.kind!r}")
+
+
+def _shard_index(tester) -> Optional[GraphIndex]:
+    """The tester's local KQE graph index, when it runs with KQE guidance."""
+    kqe = getattr(tester, "kqe", None)
+    return kqe.index if kqe is not None else None
+
+
+def _await_broadcast(from_coordinator) -> List[IndexEntry]:
+    """Block at the sync barrier until the coordinator broadcasts.
+
+    The barrier has no fixed deadline of its own: how long it takes depends on
+    the *slowest peer's* hour, which a worker cannot bound.  Deadlock
+    arbitration belongs to the coordinator (which sees heartbeats from every
+    worker); here we only bail out if the coordinator process itself died,
+    so orphaned workers never hang forever.
+    """
+    parent = multiprocessing.parent_process()
+    while True:
+        try:
+            return from_coordinator.get(timeout=5.0)
+        except queue_module.Empty:
+            if parent is not None and not parent.is_alive():
+                raise CampaignError("coordinator process died during sync")
+
+
+def _worker_main(spec: ShardSpec, sync_hours: Tuple[int, ...],
+                 heartbeat_interval: float, to_coordinator,
+                 from_coordinator) -> None:
+    """Worker process body: run one shard, synchronizing at hour boundaries."""
+    import numpy as np
+
+    # Liveness heartbeat on a daemon thread: it keeps ticking through the DSG
+    # build and arbitrarily long hours, so the coordinator's progress deadline
+    # measures worker *death*, never workload size.  (A worker parked at the
+    # sync barrier also ticks — barrier arbitration is the coordinator's job.)
+    stop_heartbeat = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop_heartbeat.wait(heartbeat_interval):
+            to_coordinator.put(("tick", spec.shard_id))
+
+    heartbeat = threading.Thread(target=_heartbeat, daemon=True,
+                                 name=f"tqs-heartbeat-{spec.shard_id}")
+    heartbeat.start()
+    try:
+        tester, tool, dbms = _build_shard_tester(spec)
+        index = _shard_index(tester)
+        records: List[HourRecord] = []
+        watermark = [len(index)] if index is not None else [0]
+
+        def on_hour(record: HourRecord) -> None:
+            records.append(record)
+            if record.hour not in sync_hours:
+                return
+            entries: List[IndexEntry] = []
+            if index is not None:
+                entries = [
+                    (vector.tolist(), label)
+                    for vector, label in index.entries_since(watermark[0])
+                ]
+            to_coordinator.put(("sync", spec.shard_id, record.hour, entries))
+            # Barrier: block until the coordinator broadcasts the other
+            # workers' entries for this round.  Bulk-synchronous rounds keep
+            # the run deterministic — local state never depends on timing.
+            broadcast = _await_broadcast(from_coordinator)
+            if index is not None:
+                for vector, label in broadcast:
+                    index.add_embedding(np.asarray(vector, dtype=np.float64),
+                                        label)
+                watermark[0] = len(index)
+
+        result = CampaignResult(tool="", dbms="", dataset=spec.config.dataset)
+        try:
+            run_campaign_loop(tester, result, spec.config.hours,
+                              spec.config.queries_per_hour, on_hour=on_hour)
+        finally:
+            if spec.kind == "differential":
+                getattr(tester, "backend").close()
+        unsynced: List[IndexEntry] = []
+        if index is not None:
+            unsynced = [
+                (vector.tolist(), label)
+                for vector, label in index.entries_since(watermark[0])
+            ]
+        report = WorkerReport(
+            shard_id=spec.shard_id,
+            tool=tool,
+            dbms=dbms,
+            dataset=spec.config.dataset,
+            samples=result.samples,
+            hourly_new_labels=[record.new_labels for record in records],
+            hourly_incidents=[record.new_incidents for record in records],
+            unsynced_entries=unsynced,
+        )
+        stop_heartbeat.set()
+        to_coordinator.put(("done", spec.shard_id, report))
+    except BaseException:  # pragma: no cover - exercised via deadlock tests
+        stop_heartbeat.set()
+        to_coordinator.put(("error", spec.shard_id, traceback.format_exc()))
+
+
+def merge_worker_reports(reports: Sequence[WorkerReport]
+                         ) -> Tuple[CampaignResult, List[CampaignResult]]:
+    """Merge per-shard reports into one campaign result plus per-shard views.
+
+    The merged per-hour series keep the serial contract: every cumulative
+    metric is monotone, ``isomorphic_sets`` is the size of the union of label
+    sets across workers at each hour, and bug counts come from replaying every
+    worker's incidents hour by hour through one :class:`BugLog` (so the same
+    (root cause, structure) pair found by two workers counts once).
+    """
+    if not reports:
+        raise CampaignError("no worker reports to merge")
+    reports = sorted(reports, key=lambda report: report.shard_id)
+    hours = len(reports[0].samples)
+    if any(len(report.samples) != hours for report in reports):
+        raise CampaignError("shards disagree on campaign length; cannot merge")
+    merged_log = BugLog()
+    union_labels: set = set()
+    merged_samples: List[HourlySample] = []
+    for index in range(hours):
+        for report in reports:
+            union_labels.update(report.hourly_new_labels[index])
+            for incident in report.hourly_incidents[index]:
+                merged_log.record(incident)
+        merged_samples.append(
+            HourlySample(
+                hour=index + 1,
+                queries_generated=sum(
+                    r.samples[index].queries_generated for r in reports),
+                queries_executed=sum(
+                    r.samples[index].queries_executed for r in reports),
+                isomorphic_sets=len(union_labels),
+                bug_count=merged_log.bug_count,
+                bug_type_count=merged_log.bug_type_count,
+                generations_rejected=sum(
+                    r.samples[index].generations_rejected for r in reports),
+            )
+        )
+    first = reports[0]
+    merged = CampaignResult(tool=first.tool, dbms=first.dbms,
+                            dataset=first.dataset, samples=merged_samples,
+                            bug_log=merged_log)
+    shard_results: List[CampaignResult] = []
+    for report in reports:
+        shard_log = BugLog()
+        for incidents in report.hourly_incidents:
+            for incident in incidents:
+                shard_log.record(incident)
+        shard_results.append(
+            CampaignResult(tool=report.tool, dbms=report.dbms,
+                           dataset=report.dataset, samples=report.samples,
+                           bug_log=shard_log)
+        )
+    return merged, shard_results
+
+
+def _receive(result_queue, processes, timeout: float):
+    """One protocol message from any worker, failing fast on a dead pool.
+
+    ``tick`` heartbeats (sent by a daemon thread in every live worker) are
+    consumed here and reset the silence deadline, so a pool that is merely
+    slow — a long DSG build, a heavy hour — is never mistaken for a dead one:
+    the deadline only fires when *no worker process* has been heard from for
+    *timeout* seconds, i.e. when the pool has actually died.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            message = result_queue.get(timeout=1.0)
+        except queue_module.Empty:
+            if time.monotonic() > deadline:
+                raise CampaignError(
+                    f"no worker made progress for {timeout:.0f}s; assuming a "
+                    "deadlocked pool (raise worker_timeout for heavier "
+                    "per-hour budgets)"
+                )
+            if not any(process.is_alive() for process in processes):
+                raise CampaignError(
+                    "every worker exited without reporting; see worker logs"
+                )
+            continue
+        deadline = time.monotonic() + timeout
+        if message[0] == "tick":
+            continue
+        return message
+
+
+def run_parallel_shards(shards: Sequence[ShardSpec],
+                        parallel: Optional[ParallelCampaignConfig] = None
+                        ) -> ParallelCampaignResult:
+    """Run shard campaigns in a real worker pool with central index sync.
+
+    The coordinator owns the central :class:`GraphIndex` (the paper's index
+    server).  Rounds are bulk-synchronous: at each configured hour boundary it
+    collects one batch of (embedding, canonical label) pairs from every worker,
+    merges them via :meth:`GraphIndex.add_embedding`, and broadcasts to each
+    worker the entries contributed by the *other* workers — so with one worker
+    a parallel run is bitwise-identical to the serial runner.
+    """
+    if not shards:
+        raise CampaignError("at least one shard is required")
+    parallel = parallel or ParallelCampaignConfig(workers=len(shards))
+    hours = shards[0].config.hours
+    if any(spec.config.hours != hours for spec in shards):
+        raise CampaignError("all shards must run the same number of hours")
+    sync_hours = _sync_hours(hours, parallel.sync_interval)
+    context = (multiprocessing.get_context(parallel.start_method)
+               if parallel.start_method else multiprocessing.get_context())
+    heartbeat_interval = max(1.0, min(15.0, parallel.worker_timeout / 4))
+    result_queue = context.Queue()
+    broadcast_queues = {spec.shard_id: context.Queue() for spec in shards}
+    processes = [
+        context.Process(
+            target=_worker_main,
+            args=(spec, sync_hours, heartbeat_interval, result_queue,
+                  broadcast_queues[spec.shard_id]),
+            daemon=True,
+            name=f"tqs-shard-{spec.shard_id}",
+        )
+        for spec in shards
+    ]
+    central_index = GraphIndex()
+    reports: Dict[int, WorkerReport] = {}
+    start = time.perf_counter()
+    for process in processes:
+        process.start()
+    try:
+        for round_hour in sync_hours:
+            batches: Dict[int, List[IndexEntry]] = {}
+            while len(batches) < len(shards):
+                message = _receive(result_queue, processes,
+                                   parallel.worker_timeout)
+                if message[0] == "error":
+                    raise CampaignError(
+                        f"worker {message[1]} failed:\n{message[2]}"
+                    )
+                if message[0] != "sync" or message[2] != round_hour:
+                    raise CampaignError(
+                        f"protocol violation: expected sync@{round_hour}, "
+                        f"got {message[0]}@{message[2] if len(message) > 2 else '?'}"
+                    )
+                batches[message[1]] = message[3]
+            for shard_id in sorted(batches):
+                for vector, label in batches[shard_id]:
+                    central_index.add_embedding(vector, label)
+            for spec in shards:
+                others = [
+                    entry
+                    for shard_id in sorted(batches)
+                    if shard_id != spec.shard_id
+                    for entry in batches[shard_id]
+                ]
+                broadcast_queues[spec.shard_id].put(others)
+        while len(reports) < len(shards):
+            message = _receive(result_queue, processes, parallel.worker_timeout)
+            if message[0] == "error":
+                raise CampaignError(f"worker {message[1]} failed:\n{message[2]}")
+            if message[0] != "done":
+                raise CampaignError(
+                    f"protocol violation: expected done, got {message[0]}"
+                )
+            report: WorkerReport = message[2]
+            reports[report.shard_id] = report
+            for vector, label in report.unsynced_entries:
+                central_index.add_embedding(vector, label)
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+    elapsed = time.perf_counter() - start
+    merged, shard_results = merge_worker_reports(list(reports.values()))
+    return ParallelCampaignResult(
+        merged=merged,
+        shards=shard_results,
+        workers=len(shards),
+        sync_rounds=len(sync_hours),
+        elapsed_seconds=elapsed,
+        central_index_size=len(central_index),
+        central_distinct_labels=central_index.distinct_canonical_labels(),
+    )
+
+
+# --------------------------------------------------------- campaign wrappers
+
+
+def run_parallel_tqs_campaign(dialect, config: Optional[CampaignConfig] = None,
+                              parallel: Optional[ParallelCampaignConfig] = None
+                              ) -> ParallelCampaignResult:
+    """Shard one TQS campaign against a simulated DBMS across worker processes."""
+    config = config or CampaignConfig()
+    parallel = parallel or ParallelCampaignConfig()
+    shards = [
+        ShardSpec(shard_id=shard_id, kind="tqs", config=shard_config,
+                  dialect=dialect.name)
+        for shard_id, shard_config in enumerate(
+            shard_campaign_configs(config, parallel.workers))
+    ]
+    return run_parallel_shards(shards, parallel)
+
+
+def run_parallel_baseline_campaign(baseline_name: str, dialect,
+                                   config: Optional[CampaignConfig] = None,
+                                   parallel: Optional[ParallelCampaignConfig] = None
+                                   ) -> ParallelCampaignResult:
+    """Shard one baseline campaign (PQS / TLP / NoRec) across worker processes."""
+    config = config or CampaignConfig()
+    parallel = parallel or ParallelCampaignConfig()
+    shards = [
+        ShardSpec(shard_id=shard_id, kind="baseline", config=shard_config,
+                  dialect=dialect.name, baseline=baseline_name)
+        for shard_id, shard_config in enumerate(
+            shard_campaign_configs(config, parallel.workers))
+    ]
+    return run_parallel_shards(shards, parallel)
+
+
+def run_parallel_differential_campaign(backend_name: str,
+                                       config: Optional[CampaignConfig] = None,
+                                       parallel: Optional[ParallelCampaignConfig] = None
+                                       ) -> ParallelCampaignResult:
+    """Shard one differential campaign against a named backend across processes.
+
+    Every worker deploys its own DSG-generated database replica into its own
+    backend instance (e.g. an in-memory SQLite connection per process), so
+    there is no shared connection to contend on.
+    """
+    config = config or CampaignConfig()
+    parallel = parallel or ParallelCampaignConfig()
+    shards = [
+        ShardSpec(shard_id=shard_id, kind="differential", config=shard_config,
+                  backend=backend_name)
+        for shard_id, shard_config in enumerate(
+            shard_campaign_configs(config, parallel.workers))
+    ]
+    return run_parallel_shards(shards, parallel)
+
+
+# ------------------------------------------------------------------ the CLI
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.core.parallel`` — run a long campaign on many cores."""
+    from repro.analysis.reporting import render_table, render_worker_pool
+    from repro.engine.dialects import ALL_DIALECTS, dialect_by_name
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.parallel",
+        description="Run a TQS testing campaign sharded across worker processes "
+                    "with central KQE index synchronization.",
+    )
+    parser.add_argument("--kind", choices=("tqs", "baseline", "differential"),
+                        default="tqs", help="campaign kind (default: tqs)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker process count (default: 4)")
+    parser.add_argument("--hours", type=int, default=24,
+                        help="simulated hours (default: 24)")
+    parser.add_argument("--queries-per-hour", type=int, default=12,
+                        help="total generation budget per hour, across all "
+                             "workers (default: 12)")
+    parser.add_argument("--dataset", default="shopping",
+                        help="DSG dataset name (default: shopping)")
+    parser.add_argument("--dataset-rows", type=int, default=150,
+                        help="wide-table rows per shard (default: 150)")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="campaign seed; worker seeds are derived from it")
+    parser.add_argument("--sync-interval", type=int, default=1,
+                        help="hours between KQE index syncs; 0 disables "
+                             "(default: 1)")
+    parser.add_argument("--dialect", default="SimMySQL",
+                        choices=[profile.name for profile in ALL_DIALECTS],
+                        help="simulated DBMS for tqs/baseline campaigns")
+    parser.add_argument("--baseline", default="NoRec",
+                        help="baseline name for --kind baseline (default: NoRec)")
+    parser.add_argument("--backend", default="sqlite",
+                        help="backend name for --kind differential: 'sqlite', "
+                             "'sim' or 'sim:<Dialect>' (default: sqlite)")
+    parser.add_argument("--worker-timeout", type=float, default=300.0,
+                        help="seconds without hearing from any worker before "
+                             "the pool is declared dead (default: 300)")
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(
+        dataset=args.dataset,
+        dataset_rows=args.dataset_rows,
+        hours=args.hours,
+        queries_per_hour=args.queries_per_hour,
+        seed=args.seed,
+    )
+    parallel = ParallelCampaignConfig(
+        workers=args.workers,
+        sync_interval=args.sync_interval,
+        worker_timeout=args.worker_timeout,
+    )
+    if args.kind == "tqs":
+        outcome = run_parallel_tqs_campaign(dialect_by_name(args.dialect),
+                                            config, parallel)
+    elif args.kind == "baseline":
+        outcome = run_parallel_baseline_campaign(args.baseline,
+                                                 dialect_by_name(args.dialect),
+                                                 config, parallel)
+    else:
+        outcome = run_parallel_differential_campaign(args.backend, config,
+                                                     parallel)
+    print(render_worker_pool(outcome))
+    final = outcome.merged.final
+    print()
+    print(render_table(
+        ["hour", "queries", "isomorphic sets", "bugs", "bug types", "rejected"],
+        [[s.hour, s.queries_generated, s.isomorphic_sets, s.bug_count,
+          s.bug_type_count, s.generations_rejected]
+         for s in outcome.merged.samples],
+        title=f"Merged per-hour series ({outcome.merged.tool} vs "
+              f"{outcome.merged.dbms})",
+    ))
+    print()
+    assert outcome.merged.bug_log is not None
+    print(outcome.merged.bug_log.summary())
+    print(f"{final.queries_generated} queries in {outcome.elapsed_seconds:.1f}s "
+          f"({outcome.queries_per_second:.1f} q/s) across {outcome.workers} "
+          f"workers, {outcome.sync_rounds} sync rounds, central index: "
+          f"{outcome.central_index_size} entries / "
+          f"{outcome.central_distinct_labels} distinct structures")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    # Delegate to the canonical module object (runpy executes a separate
+    # ``__main__`` copy of this file): shard specs must pickle as
+    # ``repro.core.parallel.ShardSpec`` for spawn-based start methods.
+    from repro.core.parallel import main as _canonical_main
+
+    raise SystemExit(_canonical_main())

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sqlvalue.values import NULL, is_null, normalize_row, row_sort_key
 
@@ -14,11 +14,17 @@ class ResultSet:
     order-insensitive and (by design of the DSG oracle) duplicate-insensitive:
     the generated queries are DISTINCT projections, so two result sets are
     considered equal when their sets of normalized rows coincide.
+
+    A result set is immutable after construction (``rows`` is a tuple of
+    tuples), which lets :meth:`normalized` cache its frozenset: every
+    ``same_rows`` / ``contains_all`` call — twice per comparison on the
+    differential hot path — previously re-normalized both sides from scratch.
     """
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
         self.columns: Tuple[str, ...] = tuple(columns)
-        self.rows: List[Tuple[Any, ...]] = [tuple(row) for row in rows]
+        self.rows: Tuple[Tuple[Any, ...], ...] = tuple(tuple(row) for row in rows)
+        self._normalized: Optional[FrozenSet[Tuple[Any, ...]]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -31,8 +37,10 @@ class ResultSet:
         return not self.rows
 
     def normalized(self) -> FrozenSet[Tuple[Any, ...]]:
-        """The set of normalized rows used for comparisons."""
-        return frozenset(normalize_row(row) for row in self.rows)
+        """The set of normalized rows used for comparisons (computed once)."""
+        if self._normalized is None:
+            self._normalized = frozenset(normalize_row(row) for row in self.rows)
+        return self._normalized
 
     def sorted_rows(self) -> List[Tuple[Any, ...]]:
         """Rows sorted into a deterministic order (for display and snapshots)."""

@@ -9,6 +9,7 @@ candidate set the way HD-Index's Hilbert-ordered B+-trees do.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,6 +27,11 @@ class GraphIndex:
         self.bucket_count = bucket_count
         self._vectors: List[np.ndarray] = []
         self._canonical_labels: List[str] = []
+        # Persistent multiset of canonical labels: membership checks and the
+        # distinct-label count sit on the campaign hot path (once per generated
+        # query), so they must not rebuild set(self._canonical_labels) — that
+        # turns a campaign into O(n^2) over the index size.
+        self._label_counts: Counter = Counter()
         self._buckets: Dict[int, List[int]] = {}
 
     def __len__(self) -> int:
@@ -43,7 +49,9 @@ class GraphIndex:
         vector = self.embedder.embed(graph)
         index = len(self._vectors)
         self._vectors.append(vector)
-        self._canonical_labels.append(graph.canonical_label())
+        label = graph.canonical_label()
+        self._canonical_labels.append(label)
+        self._label_counts[label] += 1
         self._buckets.setdefault(self._bucket_of(vector), []).append(index)
         return vector
 
@@ -52,7 +60,16 @@ class GraphIndex:
         index = len(self._vectors)
         self._vectors.append(np.asarray(vector, dtype=np.float64))
         self._canonical_labels.append(canonical_label)
+        self._label_counts[canonical_label] += 1
         self._buckets.setdefault(self._bucket_of(self._vectors[-1]), []).append(index)
+
+    def entries_since(self, start: int) -> List[Tuple[np.ndarray, str]]:
+        """The (embedding, canonical label) pairs inserted at position >= *start*.
+
+        The parallel campaign runner uses this to ship each worker's newly
+        explored query graphs to the coordinator between synchronization rounds.
+        """
+        return list(zip(self._vectors[start:], self._canonical_labels[start:]))
 
     # ------------------------------------------------------------------ search
 
@@ -89,8 +106,12 @@ class GraphIndex:
 
     def distinct_canonical_labels(self) -> int:
         """Number of distinct isomorphism classes inserted so far."""
-        return len(set(self._canonical_labels))
+        return len(self._label_counts)
 
     def contains_isomorphic(self, graph: QueryGraph) -> bool:
         """True when an isomorphic graph (same canonical label) was already added."""
-        return graph.canonical_label() in set(self._canonical_labels)
+        return graph.canonical_label() in self._label_counts
+
+    def contains_label(self, canonical_label: str) -> bool:
+        """Membership check by pre-computed canonical label."""
+        return canonical_label in self._label_counts

@@ -66,6 +66,18 @@ def test_result_sets_match_detects_genuine_mismatch():
     )
 
 
+def test_normalized_is_cached_and_rows_immutable():
+    """normalized() runs once per result set (the differential hot path calls
+    it twice per comparison); rows are frozen so the cache cannot go stale."""
+    result = ResultSet(["a"], [(1,), (2,)])
+    first = result.normalized()
+    assert result.normalized() is first
+    assert isinstance(result.rows, tuple)
+    with pytest.raises((TypeError, AttributeError)):
+        result.rows.append((3,))  # type: ignore[attr-defined]
+    assert result.same_rows(ResultSet(["a"], [(2,), (1,)]))
+
+
 # ----------------------------------------------------------------- the oracle
 
 

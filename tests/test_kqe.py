@@ -147,6 +147,70 @@ class TestEmbeddingAndIndex:
         assert index.nearest(builder.build(make_query(shopping_dsg))) == []
         assert len(index) == 0
 
+    def test_label_bookkeeping_matches_set_semantics(self, shopping_dsg):
+        """Regression: the persistent label counter must behave exactly like
+        the old per-call ``set(self._canonical_labels)`` rebuild."""
+        import numpy as np
+
+        builder = QueryGraphBuilder(shopping_dsg.ndb.schema)
+        index = GraphIndex()
+        inner = builder.build(make_query(shopping_dsg, JoinType.INNER))
+        left = builder.build(make_query(shopping_dsg, JoinType.LEFT_OUTER))
+        assert not index.contains_isomorphic(inner)
+        index.add(inner)
+        index.add(inner)
+        index.add(left)
+        index.add_embedding(np.ones(4), "external-label")
+        index.add_embedding(np.ones(4), "external-label")
+        assert index.contains_isomorphic(inner)
+        assert index.contains_isomorphic(left)
+        assert index.contains_label("external-label")
+        assert not index.contains_label("never-added")
+        # 2 graph labels + 1 external label = 3 distinct, 5 total entries.
+        assert index.distinct_canonical_labels() == 3
+        assert len(index) == 5
+
+    def test_membership_does_not_scale_with_index_size(self):
+        """The campaign hot path: 20k inserts, each followed by a membership
+        check and a distinct-count query, must finish within a fixed budget.
+
+        The old implementation rebuilt ``set(self._canonical_labels)`` on every
+        call (O(n^2) over the campaign) and takes >5s on this workload; the
+        persistent counter finishes in well under a second.
+        """
+        import time
+
+        import numpy as np
+
+        index = GraphIndex()
+        vector = np.ones(8)
+        start = time.perf_counter()
+        for i in range(20_000):
+            label = f"canonical-{i % 977}"
+            index.add_embedding(vector, label)
+            assert index.contains_label(label)
+            index.distinct_canonical_labels()
+        elapsed = time.perf_counter() - start
+        assert index.distinct_canonical_labels() == 977
+        assert elapsed < 2.0, (
+            f"label bookkeeping took {elapsed:.2f}s for 20k inserts; "
+            "membership checks are scaling with index size again"
+        )
+
+    def test_entries_since_ships_only_new_pairs(self, shopping_dsg):
+        builder = QueryGraphBuilder(shopping_dsg.ndb.schema)
+        index = GraphIndex()
+        inner = builder.build(make_query(shopping_dsg, JoinType.INNER))
+        index.add(inner)
+        watermark = len(index)
+        left = builder.build(make_query(shopping_dsg, JoinType.LEFT_OUTER))
+        index.add(left)
+        entries = index.entries_since(watermark)
+        assert len(entries) == 1
+        vector, label = entries[0]
+        assert label == left.canonical_label()
+        assert index.entries_since(len(index)) == []
+
 
 class TestAliasSampling:
     def test_rejects_empty(self):
