@@ -14,7 +14,7 @@ import pytest
 
 from repro.analysis import render_differential_summary
 from repro.backends import SimulatedBackend, SQLiteBackend
-from repro.core import CampaignConfig, run_differential_campaign
+from repro.core import run_differential_campaign
 from repro.engine import SIM_MYSQL
 
 

@@ -8,6 +8,7 @@ from repro.analysis.metrics import (
     saturation_hour,
 )
 from repro.analysis.reporting import (
+    parallel_result_to_dict,
     render_ablation,
     render_bug_type_details,
     render_dbms_overview,
@@ -16,6 +17,7 @@ from repro.analysis.reporting import (
     render_series,
     render_table,
     render_worker_pool,
+    write_parallel_result_json,
 )
 
 __all__ = [
@@ -23,6 +25,7 @@ __all__ = [
     "compare_final",
     "growth_is_monotonic",
     "linearity_score",
+    "parallel_result_to_dict",
     "render_ablation",
     "render_bug_type_details",
     "render_dbms_overview",
@@ -32,4 +35,5 @@ __all__ = [
     "render_table",
     "render_worker_pool",
     "saturation_hour",
+    "write_parallel_result_json",
 ]

@@ -139,10 +139,105 @@ def render_worker_pool(outcome) -> str:
     )
     headers = ["worker", "queries", "rejected", "isomorphic sets", "bugs",
                "bug types"]
-    title = (f"Parallel campaign: {outcome.workers} workers, "
-             f"{outcome.sync_rounds} sync rounds, "
+    transport = getattr(outcome, "transport", "local")
+    title = (f"Parallel campaign: {outcome.workers} workers "
+             f"({transport} transport), {outcome.sync_rounds} sync rounds, "
              f"{outcome.elapsed_seconds:.1f}s wall clock")
     return render_table(headers, rows, title=title)
+
+
+# ----------------------------------------------------- campaign JSON artifacts
+
+
+def _bug_keys(result: CampaignResult) -> List[List[object]]:
+    """The deduplicated (root cause, structure) bug keys, JSON-ready.
+
+    Derived from the incident list rather than the log's internal key set so
+    any :class:`CampaignResult` — including ones re-built from worker reports
+    — serializes the same way.
+    """
+    if result.bug_log is None:
+        return []
+    keys = {
+        (tuple(sorted(incident.root_cause)), incident.query_canonical_label)
+        for incident in result.bug_log.incidents
+    }
+    return [[list(bug_ids), label] for bug_ids, label in sorted(keys)]
+
+
+def parallel_result_to_dict(outcome, campaign: Optional[Dict] = None) -> Dict:
+    """Serialize a parallel campaign outcome to a JSON-compatible dict.
+
+    The ``summary`` block contains only seed-deterministic fields, so two runs
+    of the same campaign — over any transport — must produce equal summaries;
+    ``python -m repro.distributed verify-local`` leans on exactly that.
+    Wall-clock timing, raw incidents and the campaign echo live outside it.
+    """
+    from dataclasses import asdict
+
+    merged = outcome.merged
+    shards = []
+    # outcome.shards and outcome.sync_stats are both ordered by shard id (the
+    # merge sorts reports), so zipping keeps labels right even when shard ids
+    # are not contiguous; positional ids are only a fallback for outcomes
+    # without sync stats.
+    sync_stats = list(getattr(outcome, "sync_stats", []))
+    for position, shard in enumerate(outcome.shards):
+        stats = sync_stats[position] if position < len(sync_stats) else None
+        shards.append(
+            {
+                "shard_id": stats.shard_id if stats else position,
+                "tool": shard.tool,
+                "dbms": shard.dbms,
+                "dataset": shard.dataset,
+                "final": asdict(shard.final),
+                "bug_keys": _bug_keys(shard),
+                "entries_shipped":
+                    stats.entries_shipped if stats else 0,
+                "broadcast_entries_received":
+                    stats.broadcast_entries_received if stats else 0,
+                "broadcast_entries_suppressed":
+                    stats.broadcast_entries_suppressed if stats else 0,
+            }
+        )
+    summary = {
+        "workers": outcome.workers,
+        "sync_rounds": outcome.sync_rounds,
+        "central_index_size": outcome.central_index_size,
+        "central_distinct_labels": outcome.central_distinct_labels,
+        "broadcast_entries_sent": getattr(outcome, "broadcast_entries_sent", 0),
+        "broadcast_entries_suppressed":
+            getattr(outcome, "broadcast_entries_suppressed", 0),
+        "merged": {
+            "tool": merged.tool,
+            "dbms": merged.dbms,
+            "dataset": merged.dataset,
+            "samples": [asdict(sample) for sample in merged.samples],
+            "bug_keys": _bug_keys(merged),
+        },
+        "shards": shards,
+    }
+    incidents = []
+    if merged.bug_log is not None:
+        incidents = [asdict(incident) for incident in merged.bug_log.incidents]
+    return {
+        "campaign": campaign,
+        "transport": getattr(outcome, "transport", "local"),
+        "elapsed_seconds": outcome.elapsed_seconds,
+        "summary": summary,
+        "incidents": incidents,
+    }
+
+
+def write_parallel_result_json(outcome, path: str,
+                               campaign: Optional[Dict] = None) -> None:
+    """Write :func:`parallel_result_to_dict` to *path* as pretty JSON."""
+    import json
+
+    payload = parallel_result_to_dict(outcome, campaign=campaign)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def render_differential_summary(result: CampaignResult,

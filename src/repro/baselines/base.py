@@ -11,13 +11,13 @@ subclass only supplies its own test oracle.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.bug_report import BugIncident, BugLog
 from repro.dsg.pipeline import DSG
 from repro.engine.engine import Engine, ExecutionReport
 from repro.errors import GenerationError
-from repro.expr.ast import ColumnRef, Comparison, Literal, conjoin
+from repro.expr.ast import ColumnRef, Comparison, Literal
 from repro.kqe.isomorphism import IsomorphicSetCounter
 from repro.kqe.query_graph import QueryGraphBuilder
 from repro.plan.logical import JoinStep, JoinType, QuerySpec, SelectItem, TableRef

@@ -9,11 +9,11 @@ detects far fewer join-optimization bugs than TQS in Figure 8.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.baselines.base import BaselineTester
 from repro.errors import GenerationError
-from repro.expr.ast import And, Expression, IsNull, Not, conjoin
+from repro.expr.ast import And, Expression, IsNull, Not
 from repro.plan.logical import JoinType, QuerySpec
 
 

@@ -11,7 +11,7 @@ structure) to form "bugs", and the set of implicated seeded fault ids forms the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)

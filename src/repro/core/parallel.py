@@ -17,10 +17,20 @@ that design:
   runners (:func:`~repro.core.campaign.run_campaign_loop`); at hour boundaries
   they ship batches of (embedding, canonical label) pairs to the coordinator,
   which merges them into a central :class:`~repro.kqe.graph_index.GraphIndex`
-  and broadcasts the other workers' entries back — the paper's central-index
-  synchronization, bulk-synchronous so runs are deterministic.  The coordinator
-  merges per-worker bug logs with cross-worker bug-type deduplication and
-  rebuilds the per-hour series contract on the merged result.
+  and broadcasts the other workers' label-novel entries back — the paper's
+  central-index synchronization, bulk-synchronous so runs are deterministic.
+  The coordinator merges per-worker bug logs with cross-worker bug-type
+  deduplication and rebuilds the per-hour series contract on the merged result.
+
+The sync protocol itself is transport-agnostic: workers talk to the
+coordinator through a :class:`SyncTransport`.  :class:`LocalSyncTransport`
+carries it over ``multiprocessing`` queues (the in-process pool);
+:class:`~repro.distributed.client.RemoteSyncTransport` carries the same verbs
+over TCP to a :class:`~repro.distributed.server.IndexServer`, so shards can
+run on separate machines (``transport="tcp"``, or the
+``python -m repro.distributed`` CLI for genuinely remote clients).  Both paths
+share one :class:`~repro.distributed.coordinator.CentralCoordinator`, so for
+the same seed a TCP campaign is bit-identical to the in-process pool.
 
 Run long campaigns from the command line::
 
@@ -52,13 +62,12 @@ from repro.core.campaign import (
     run_campaign_loop,
     tqs_variant_name,
 )
+from repro.distributed.coordinator import CentralCoordinator
+from repro.distributed.protocol import IndexEntry, SyncBroadcast
 from repro.dsg.pipeline import DSG, DSGConfig
 from repro.errors import CampaignError, GenerationError
 from repro.kqe.explorer import KQE
 from repro.kqe.graph_index import GraphIndex
-
-# Serialized index entries: (embedding as a plain list, canonical label).
-IndexEntry = Tuple[List[float], str]
 
 
 # =========================================================================
@@ -225,6 +234,16 @@ class ParallelCampaignConfig:
     # results) before the pool is declared dead and the run fails fast.
     worker_timeout: float = 300.0
     start_method: Optional[str] = None  # None = platform default ("fork" on Linux)
+    # "local" runs the sync protocol over multiprocessing queues; "tcp" hosts
+    # an in-process IndexServer and has every worker connect over localhost —
+    # the same code path remote clients use, so CI can exercise it end to end.
+    transport: str = "local"
+    tcp_host: str = "127.0.0.1"
+    tcp_port: int = 0            # 0 = ephemeral port chosen by the OS
+    # Broadcast only label-novel entries to each worker (the coordinator's
+    # novelty pruning).  Pruned and unpruned runs are each deterministic, but
+    # differ from one another; the switch is campaign configuration.
+    prune_broadcasts: bool = True
 
 
 @dataclass
@@ -239,6 +258,23 @@ class WorkerReport:
     hourly_new_labels: List[List[str]]
     hourly_incidents: List[List[BugIncident]]
     unsynced_entries: List[IndexEntry] = field(default_factory=list)
+    # Sync-payload accounting: entries this worker shipped to the coordinator
+    # (sync batches plus the unsynced tail above), entries it received in
+    # broadcasts, and entries the coordinator's novelty pruning withheld from
+    # it — so the payload reduction is measurable per worker.
+    entries_shipped: int = 0
+    broadcast_entries_received: int = 0
+    broadcast_entries_suppressed: int = 0
+
+
+@dataclass(frozen=True)
+class ShardSyncStats:
+    """Per-worker view of the sync traffic, for reporting and reconciliation."""
+
+    shard_id: int
+    entries_shipped: int
+    broadcast_entries_received: int
+    broadcast_entries_suppressed: int
 
 
 @dataclass
@@ -252,6 +288,10 @@ class ParallelCampaignResult:
     elapsed_seconds: float
     central_index_size: int
     central_distinct_labels: int
+    transport: str = "local"
+    broadcast_entries_sent: int = 0
+    broadcast_entries_suppressed: int = 0
+    sync_stats: List[ShardSyncStats] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -262,7 +302,7 @@ class ParallelCampaignResult:
         return generated / self.elapsed_seconds
 
 
-def _sync_hours(hours: int, sync_interval: int) -> Tuple[int, ...]:
+def sync_schedule(hours: int, sync_interval: int) -> Tuple[int, ...]:
     """The hour boundaries at which workers and coordinator rendezvous.
 
     The final hour is excluded — there is no further generation a sync could
@@ -302,98 +342,223 @@ def _shard_index(tester) -> Optional[GraphIndex]:
     return kqe.index if kqe is not None else None
 
 
-def _await_broadcast(from_coordinator) -> List[IndexEntry]:
-    """Block at the sync barrier until the coordinator broadcasts.
+class SyncTransport:
+    """How one worker talks to the central coordinator.
 
-    The barrier has no fixed deadline of its own: how long it takes depends on
-    the *slowest peer's* hour, which a worker cannot bound.  Deadlock
-    arbitration belongs to the coordinator (which sees heartbeats from every
-    worker); here we only bail out if the coordinator process itself died,
-    so orphaned workers never hang forever.
+    The protocol is four verbs: ``register`` once up front, ``sync`` at every
+    scheduled hour boundary (blocking until the coordinator broadcasts the
+    other workers' entries), ``report`` once at the end, and ``error`` on
+    failure; ``tick`` is the out-of-band liveness heartbeat.  Implementations
+    carry the verbs over multiprocessing queues (:class:`LocalSyncTransport`)
+    or TCP (:class:`~repro.distributed.client.RemoteSyncTransport`); the
+    worker body (:func:`run_shard_with_transport`) is transport-blind.
     """
-    parent = multiprocessing.parent_process()
-    while True:
-        try:
-            return from_coordinator.get(timeout=5.0)
-        except queue_module.Empty:
-            if parent is not None and not parent.is_alive():
-                raise CampaignError("coordinator process died during sync")
+
+    def register(self, shard_id: Optional[int]) -> None:
+        """Announce this worker to the coordinator before the campaign starts."""
+        raise NotImplementedError
+
+    def sync(self, shard_id: int, hour: int,
+             entries: List[IndexEntry]) -> SyncBroadcast:
+        """Ship one batch and block until the round's broadcast arrives."""
+        raise NotImplementedError
+
+    def report(self, report: "WorkerReport") -> None:
+        """Deliver the finished shard's report to the coordinator."""
+        raise NotImplementedError
+
+    def error(self, shard_id: int, text: str) -> None:
+        """Tell the coordinator this worker failed (text = traceback)."""
+        raise NotImplementedError
+
+    def tick(self, shard_id: int) -> None:
+        """Liveness heartbeat; must be cheap and safe from a daemon thread."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (sockets); queues need no teardown."""
 
 
-def _worker_main(spec: ShardSpec, sync_hours: Tuple[int, ...],
-                 heartbeat_interval: float, to_coordinator,
-                 from_coordinator) -> None:
-    """Worker process body: run one shard, synchronizing at hour boundaries."""
+class LocalSyncTransport(SyncTransport):
+    """The in-process pool's transport: a pair of multiprocessing queues."""
+
+    def __init__(self, to_coordinator, from_coordinator) -> None:
+        self._to_coordinator = to_coordinator
+        self._from_coordinator = from_coordinator
+
+    def register(self, shard_id: Optional[int]) -> None:
+        # The local coordinator created the shards itself; nothing to announce.
+        return None
+
+    def sync(self, shard_id: int, hour: int,
+             entries: List[IndexEntry]) -> SyncBroadcast:
+        self._to_coordinator.put(("sync", shard_id, hour, entries))
+        # Barrier: block until the coordinator broadcasts the other workers'
+        # entries for this round.  The barrier has no fixed deadline of its
+        # own — how long it takes depends on the *slowest peer's* hour, which
+        # a worker cannot bound; deadlock arbitration belongs to the
+        # coordinator (which sees heartbeats from every worker).  We only bail
+        # out if the coordinator process itself died, so orphaned workers
+        # never hang forever.
+        parent = multiprocessing.parent_process()
+        while True:
+            try:
+                return self._from_coordinator.get(timeout=5.0)
+            except queue_module.Empty:
+                if parent is not None and not parent.is_alive():
+                    raise CampaignError("coordinator process died during sync")
+
+    def report(self, report: "WorkerReport") -> None:
+        self._to_coordinator.put(("done", report.shard_id, report))
+
+    def error(self, shard_id: int, text: str) -> None:
+        self._to_coordinator.put(("error", shard_id, text))
+
+    def tick(self, shard_id: int) -> None:
+        self._to_coordinator.put(("tick", shard_id))
+
+
+def _make_worker_transport(transport_spec: Tuple) -> SyncTransport:
+    """Materialize a transport inside the worker process.
+
+    *transport_spec* must pickle across the process boundary, so it is a plain
+    tagged tuple: ``("local", to_coordinator, from_coordinator)`` or
+    ``("tcp", host, port, io_timeout)``.
+    """
+    kind = transport_spec[0]
+    if kind == "local":
+        return LocalSyncTransport(transport_spec[1], transport_spec[2])
+    if kind == "tcp":
+        from repro.distributed.client import RemoteSyncTransport
+
+        _, host, port, io_timeout = transport_spec
+        return RemoteSyncTransport(host, port,
+                                   connect_timeout=min(60.0, io_timeout),
+                                   io_timeout=io_timeout)
+    raise CampaignError(f"unknown transport spec {transport_spec[0]!r}")
+
+
+def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
+                             transport: SyncTransport) -> WorkerReport:
+    """Run one shard's campaign, synchronizing through *transport*.
+
+    This is the transport-blind worker body shared by the in-process pool's
+    worker processes and the distributed CLI client.  It does not send the
+    final report itself (callers manage heartbeat shutdown ordering); it
+    returns the completed :class:`WorkerReport`.
+    """
     import numpy as np
 
-    # Liveness heartbeat on a daemon thread: it keeps ticking through the DSG
-    # build and arbitrarily long hours, so the coordinator's progress deadline
-    # measures worker *death*, never workload size.  (A worker parked at the
-    # sync barrier also ticks — barrier arbitration is the coordinator's job.)
+    tester, tool, dbms = _build_shard_tester(spec)
+    index = _shard_index(tester)
+    records: List[HourRecord] = []
+    watermark = [len(index)] if index is not None else [0]
+    shipped = [0]
+    received = [0]
+    suppressed = [0]
+
+    def on_hour(record: HourRecord) -> None:
+        records.append(record)
+        if record.hour not in sync_hours:
+            return
+        entries: List[IndexEntry] = []
+        if index is not None:
+            entries = [
+                (vector.tolist(), label)
+                for vector, label in index.entries_since(watermark[0])
+            ]
+        # Bulk-synchronous rounds keep the run deterministic — local state
+        # never depends on timing, only on the round's merged content.
+        broadcast = transport.sync(spec.shard_id, record.hour, entries)
+        shipped[0] += len(entries)
+        received[0] += len(broadcast.entries)
+        suppressed[0] += broadcast.suppressed
+        if index is not None:
+            for vector, label in broadcast.entries:
+                index.add_embedding(np.asarray(vector, dtype=np.float64),
+                                    label)
+            watermark[0] = len(index)
+
+    result = CampaignResult(tool="", dbms="", dataset=spec.config.dataset)
+    try:
+        run_campaign_loop(tester, result, spec.config.hours,
+                          spec.config.queries_per_hour, on_hour=on_hour)
+    finally:
+        if spec.kind == "differential":
+            getattr(tester, "backend").close()
+    unsynced: List[IndexEntry] = []
+    if index is not None:
+        unsynced = [
+            (vector.tolist(), label)
+            for vector, label in index.entries_since(watermark[0])
+        ]
+    return WorkerReport(
+        shard_id=spec.shard_id,
+        tool=tool,
+        dbms=dbms,
+        dataset=spec.config.dataset,
+        samples=result.samples,
+        hourly_new_labels=[record.new_labels for record in records],
+        hourly_incidents=[record.new_incidents for record in records],
+        unsynced_entries=unsynced,
+        entries_shipped=shipped[0] + len(unsynced),
+        broadcast_entries_received=received[0],
+        broadcast_entries_suppressed=suppressed[0],
+    )
+
+
+def run_shard_with_heartbeat(spec: ShardSpec, sync_hours: Sequence[int],
+                             transport: SyncTransport,
+                             heartbeat_interval: float) -> WorkerReport:
+    """Run one shard with a liveness heartbeat ticking around it.
+
+    The heartbeat runs on a daemon thread and keeps ticking through the DSG
+    build and arbitrarily long hours, so the coordinator's progress deadline
+    measures worker *death*, never workload size.  Barrier arbitration is the
+    coordinator's job: over the local transport a parked worker keeps ticking
+    (queue puts are independent), while over TCP ticks queue behind the
+    in-flight sync exchange — there the sync message itself refreshes the
+    server's activity clock, and the barrier resolves when the slowest peer's
+    batch (or the server's silence deadline) arrives.
+    Shared by the pool's worker processes and the distributed CLI client.
+    """
     stop_heartbeat = threading.Event()
 
     def _heartbeat() -> None:
         while not stop_heartbeat.wait(heartbeat_interval):
-            to_coordinator.put(("tick", spec.shard_id))
+            try:
+                transport.tick(spec.shard_id)
+            except Exception:
+                return  # coordinator gone; the main thread will notice
 
     heartbeat = threading.Thread(target=_heartbeat, daemon=True,
                                  name=f"tqs-heartbeat-{spec.shard_id}")
     heartbeat.start()
     try:
-        tester, tool, dbms = _build_shard_tester(spec)
-        index = _shard_index(tester)
-        records: List[HourRecord] = []
-        watermark = [len(index)] if index is not None else [0]
-
-        def on_hour(record: HourRecord) -> None:
-            records.append(record)
-            if record.hour not in sync_hours:
-                return
-            entries: List[IndexEntry] = []
-            if index is not None:
-                entries = [
-                    (vector.tolist(), label)
-                    for vector, label in index.entries_since(watermark[0])
-                ]
-            to_coordinator.put(("sync", spec.shard_id, record.hour, entries))
-            # Barrier: block until the coordinator broadcasts the other
-            # workers' entries for this round.  Bulk-synchronous rounds keep
-            # the run deterministic — local state never depends on timing.
-            broadcast = _await_broadcast(from_coordinator)
-            if index is not None:
-                for vector, label in broadcast:
-                    index.add_embedding(np.asarray(vector, dtype=np.float64),
-                                        label)
-                watermark[0] = len(index)
-
-        result = CampaignResult(tool="", dbms="", dataset=spec.config.dataset)
-        try:
-            run_campaign_loop(tester, result, spec.config.hours,
-                              spec.config.queries_per_hour, on_hour=on_hour)
-        finally:
-            if spec.kind == "differential":
-                getattr(tester, "backend").close()
-        unsynced: List[IndexEntry] = []
-        if index is not None:
-            unsynced = [
-                (vector.tolist(), label)
-                for vector, label in index.entries_since(watermark[0])
-            ]
-        report = WorkerReport(
-            shard_id=spec.shard_id,
-            tool=tool,
-            dbms=dbms,
-            dataset=spec.config.dataset,
-            samples=result.samples,
-            hourly_new_labels=[record.new_labels for record in records],
-            hourly_incidents=[record.new_incidents for record in records],
-            unsynced_entries=unsynced,
-        )
+        return run_shard_with_transport(spec, sync_hours, transport)
+    finally:
         stop_heartbeat.set()
-        to_coordinator.put(("done", spec.shard_id, report))
+
+
+def _worker_main(spec: ShardSpec, sync_hours: Tuple[int, ...],
+                 heartbeat_interval: float, transport_spec: Tuple) -> None:
+    """Worker process body: run one shard, synchronizing at hour boundaries."""
+    transport: Optional[SyncTransport] = None
+    try:
+        transport = _make_worker_transport(transport_spec)
+        transport.register(spec.shard_id)
+        report = run_shard_with_heartbeat(spec, sync_hours, transport,
+                                          heartbeat_interval)
+        transport.report(report)
     except BaseException:  # pragma: no cover - exercised via deadlock tests
-        stop_heartbeat.set()
-        to_coordinator.put(("error", spec.shard_id, traceback.format_exc()))
+        if transport is not None:
+            try:
+                transport.error(spec.shard_id, traceback.format_exc())
+            except Exception:
+                pass
+    finally:
+        if transport is not None:
+            transport.close()
 
 
 def merge_worker_reports(reports: Sequence[WorkerReport]
@@ -452,7 +617,7 @@ def merge_worker_reports(reports: Sequence[WorkerReport]
     return merged, shard_results
 
 
-def _receive(result_queue, processes, timeout: float):
+def _receive(result_queue, processes, timeout: float, pending=None):
     """One protocol message from any worker, failing fast on a dead pool.
 
     ``tick`` heartbeats (sent by a daemon thread in every live worker) are
@@ -460,12 +625,31 @@ def _receive(result_queue, processes, timeout: float):
     slow — a long DSG build, a heavy hour — is never mistaken for a dead one:
     the deadline only fires when *no worker process* has been heard from for
     *timeout* seconds, i.e. when the pool has actually died.
+
+    Surviving peers' heartbeats must not mask a single *hard-killed* worker
+    (SIGKILL/OOM sends no "error" message), so *pending* — a callable giving
+    the processes still owed a message this round — is polled too: a dead
+    pending worker fails the pool after a short grace period that lets any
+    already-queued message from it drain first.
     """
     deadline = time.monotonic() + timeout
+    dead_polls = 0
     while True:
         try:
             message = result_queue.get(timeout=1.0)
         except queue_module.Empty:
+            owed = list(pending()) if pending is not None else list(processes)
+            dead = [p for p in owed if not p.is_alive()]
+            if dead:
+                dead_polls += 1
+                if dead_polls >= 3:
+                    names = ", ".join(p.name for p in dead)
+                    raise CampaignError(
+                        f"worker process(es) {names} died without reporting; "
+                        "aborting the pool"
+                    )
+            else:
+                dead_polls = 0
             if time.monotonic() > deadline:
                 raise CampaignError(
                     f"no worker made progress for {timeout:.0f}s; assuming a "
@@ -483,6 +667,42 @@ def _receive(result_queue, processes, timeout: float):
         return message
 
 
+def finalize_parallel_result(reports: Sequence[WorkerReport],
+                             coordinator: CentralCoordinator,
+                             workers: int, sync_rounds: int,
+                             elapsed_seconds: float, transport: str
+                             ) -> ParallelCampaignResult:
+    """Merge worker reports and coordinator state into the campaign outcome.
+
+    Shared by the in-process pool, the TCP pool and the distributed serve CLI
+    so every deployment reports identical numbers for identical campaigns.
+    """
+    merged, shard_results = merge_worker_reports(list(reports))
+    ordered = sorted(reports, key=lambda report: report.shard_id)
+    sync_stats = [
+        ShardSyncStats(
+            shard_id=report.shard_id,
+            entries_shipped=report.entries_shipped,
+            broadcast_entries_received=report.broadcast_entries_received,
+            broadcast_entries_suppressed=report.broadcast_entries_suppressed,
+        )
+        for report in ordered
+    ]
+    return ParallelCampaignResult(
+        merged=merged,
+        shards=shard_results,
+        workers=workers,
+        sync_rounds=sync_rounds,
+        elapsed_seconds=elapsed_seconds,
+        central_index_size=len(coordinator.index),
+        central_distinct_labels=coordinator.index.distinct_canonical_labels(),
+        transport=transport,
+        broadcast_entries_sent=coordinator.broadcast_entries_sent,
+        broadcast_entries_suppressed=coordinator.broadcast_entries_suppressed,
+        sync_stats=sync_stats,
+    )
+
+
 def run_parallel_shards(shards: Sequence[ShardSpec],
                         parallel: Optional[ParallelCampaignConfig] = None
                         ) -> ParallelCampaignResult:
@@ -492,8 +712,15 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
     server).  Rounds are bulk-synchronous: at each configured hour boundary it
     collects one batch of (embedding, canonical label) pairs from every worker,
     merges them via :meth:`GraphIndex.add_embedding`, and broadcasts to each
-    worker the entries contributed by the *other* workers — so with one worker
-    a parallel run is bitwise-identical to the serial runner.
+    worker the entries contributed by the *other* workers (minus the ones that
+    worker's known labels make redundant, when novelty pruning is on) — so
+    with one worker a parallel run is bitwise-identical to the serial runner.
+
+    With ``parallel.transport == "tcp"`` the coordinator is a real
+    :class:`~repro.distributed.server.IndexServer` on a localhost socket and
+    every worker connects through
+    :class:`~repro.distributed.client.RemoteSyncTransport`; results are
+    bit-identical to the ``"local"`` queue transport for the same seed.
     """
     if not shards:
         raise CampaignError("at least one shard is required")
@@ -501,23 +728,32 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
     hours = shards[0].config.hours
     if any(spec.config.hours != hours for spec in shards):
         raise CampaignError("all shards must run the same number of hours")
-    sync_hours = _sync_hours(hours, parallel.sync_interval)
+    if parallel.transport not in ("local", "tcp"):
+        raise CampaignError(
+            f"unknown transport {parallel.transport!r}; expected 'local' or 'tcp'"
+        )
+    sync_hours = sync_schedule(hours, parallel.sync_interval)
     context = (multiprocessing.get_context(parallel.start_method)
                if parallel.start_method else multiprocessing.get_context())
     heartbeat_interval = max(1.0, min(15.0, parallel.worker_timeout / 4))
+    if parallel.transport == "tcp":
+        return _run_shards_over_tcp(shards, parallel, sync_hours, context,
+                                    heartbeat_interval)
     result_queue = context.Queue()
     broadcast_queues = {spec.shard_id: context.Queue() for spec in shards}
     processes = [
         context.Process(
             target=_worker_main,
-            args=(spec, sync_hours, heartbeat_interval, result_queue,
-                  broadcast_queues[spec.shard_id]),
+            args=(spec, sync_hours, heartbeat_interval,
+                  ("local", result_queue, broadcast_queues[spec.shard_id])),
             daemon=True,
             name=f"tqs-shard-{spec.shard_id}",
         )
         for spec in shards
     ]
-    central_index = GraphIndex()
+    coordinator = CentralCoordinator(prune=parallel.prune_broadcasts)
+    procs_by_shard = {spec.shard_id: process
+                      for spec, process in zip(shards, processes)}
     reports: Dict[int, WorkerReport] = {}
     start = time.perf_counter()
     for process in processes:
@@ -527,7 +763,12 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
             batches: Dict[int, List[IndexEntry]] = {}
             while len(batches) < len(shards):
                 message = _receive(result_queue, processes,
-                                   parallel.worker_timeout)
+                                   parallel.worker_timeout,
+                                   pending=lambda: [
+                                       procs_by_shard[spec.shard_id]
+                                       for spec in shards
+                                       if spec.shard_id not in batches
+                                   ])
                 if message[0] == "error":
                     raise CampaignError(
                         f"worker {message[1]} failed:\n{message[2]}"
@@ -538,19 +779,16 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
                         f"got {message[0]}@{message[2] if len(message) > 2 else '?'}"
                     )
                 batches[message[1]] = message[3]
-            for shard_id in sorted(batches):
-                for vector, label in batches[shard_id]:
-                    central_index.add_embedding(vector, label)
+            broadcasts = coordinator.complete_round(batches)
             for spec in shards:
-                others = [
-                    entry
-                    for shard_id in sorted(batches)
-                    if shard_id != spec.shard_id
-                    for entry in batches[shard_id]
-                ]
-                broadcast_queues[spec.shard_id].put(others)
+                broadcast_queues[spec.shard_id].put(broadcasts[spec.shard_id])
         while len(reports) < len(shards):
-            message = _receive(result_queue, processes, parallel.worker_timeout)
+            message = _receive(result_queue, processes, parallel.worker_timeout,
+                               pending=lambda: [
+                                   procs_by_shard[spec.shard_id]
+                                   for spec in shards
+                                   if spec.shard_id not in reports
+                               ])
             if message[0] == "error":
                 raise CampaignError(f"worker {message[1]} failed:\n{message[2]}")
             if message[0] != "done":
@@ -559,8 +797,7 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
                 )
             report: WorkerReport = message[2]
             reports[report.shard_id] = report
-            for vector, label in report.unsynced_entries:
-                central_index.add_embedding(vector, label)
+            coordinator.absorb(report.unsynced_entries)
     finally:
         for process in processes:
             process.join(timeout=5.0)
@@ -569,19 +806,99 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
                 process.terminate()
                 process.join(timeout=5.0)
     elapsed = time.perf_counter() - start
-    merged, shard_results = merge_worker_reports(list(reports.values()))
-    return ParallelCampaignResult(
-        merged=merged,
-        shards=shard_results,
-        workers=len(shards),
-        sync_rounds=len(sync_hours),
-        elapsed_seconds=elapsed,
-        central_index_size=len(central_index),
-        central_distinct_labels=central_index.distinct_canonical_labels(),
-    )
+    return finalize_parallel_result(list(reports.values()), coordinator,
+                                    workers=len(shards),
+                                    sync_rounds=len(sync_hours),
+                                    elapsed_seconds=elapsed,
+                                    transport="local")
+
+
+def _run_shards_over_tcp(shards: Sequence[ShardSpec],
+                         parallel: ParallelCampaignConfig,
+                         sync_hours: Tuple[int, ...], context,
+                         heartbeat_interval: float) -> ParallelCampaignResult:
+    """The ``transport="tcp"`` pool: an in-process IndexServer + TCP workers.
+
+    Exercises the full distributed stack (framing, registration, barrier
+    rounds, novelty pruning, report upload) on localhost while keeping the
+    one-call ``run_parallel_*_campaign`` interface.
+    """
+    from repro.distributed.server import IndexServer
+
+    io_timeout = max(60.0, parallel.worker_timeout * 2)
+    server = IndexServer(shards=shards, sync_hours=sync_hours,
+                         host=parallel.tcp_host, port=parallel.tcp_port,
+                         prune=parallel.prune_broadcasts,
+                         round_timeout=parallel.worker_timeout)
+    server.start()
+    start = time.perf_counter()
+    processes = [
+        context.Process(
+            target=_worker_main,
+            args=(spec, sync_hours, heartbeat_interval,
+                  ("tcp", server.host, server.port, io_timeout)),
+            daemon=True,
+            name=f"tqs-shard-{spec.shard_id}",
+        )
+        for spec in shards
+    ]
+    try:
+        for process in processes:
+            process.start()
+        while not server.wait(0.5):
+            if server.failure is not None:
+                raise CampaignError(server.failure)
+            if not any(process.is_alive() for process in processes):
+                # Workers are gone; give in-flight frames a moment to land.
+                if server.wait(2.0):
+                    break
+                raise CampaignError(
+                    server.failure
+                    or "every worker exited without reporting; see worker logs"
+                )
+        if server.failure is not None:
+            raise CampaignError(server.failure)
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        server.stop()
+    elapsed = time.perf_counter() - start
+    return finalize_parallel_result(list(server.reports.values()),
+                                    server.coordinator, workers=len(shards),
+                                    sync_rounds=len(sync_hours),
+                                    elapsed_seconds=elapsed, transport="tcp")
 
 
 # --------------------------------------------------------- campaign wrappers
+
+
+def build_shard_specs(kind: str, config: CampaignConfig, workers: int,
+                      dialect: str = "SimMySQL", baseline: str = "",
+                      backend: str = "sqlite") -> List[ShardSpec]:
+    """Split one campaign into per-worker :class:`ShardSpec` assignments.
+
+    The single source of truth for shard construction: the in-process
+    wrappers below and the ``python -m repro.distributed serve`` CLI both use
+    it, so a distributed deployment runs exactly the shards the local pool
+    would for the same campaign arguments.
+    """
+    if kind not in ("tqs", "baseline", "differential"):
+        raise CampaignError(
+            f"unknown campaign kind {kind!r}; "
+            "expected 'tqs', 'baseline' or 'differential'"
+        )
+    if kind == "baseline" and not baseline:
+        raise CampaignError("baseline campaigns need a baseline name")
+    return [
+        ShardSpec(shard_id=shard_id, kind=kind, config=shard_config,
+                  dialect=dialect, baseline=baseline, backend=backend)
+        for shard_id, shard_config in enumerate(
+            shard_campaign_configs(config, workers))
+    ]
 
 
 def run_parallel_tqs_campaign(dialect, config: Optional[CampaignConfig] = None,
@@ -590,12 +907,8 @@ def run_parallel_tqs_campaign(dialect, config: Optional[CampaignConfig] = None,
     """Shard one TQS campaign against a simulated DBMS across worker processes."""
     config = config or CampaignConfig()
     parallel = parallel or ParallelCampaignConfig()
-    shards = [
-        ShardSpec(shard_id=shard_id, kind="tqs", config=shard_config,
-                  dialect=dialect.name)
-        for shard_id, shard_config in enumerate(
-            shard_campaign_configs(config, parallel.workers))
-    ]
+    shards = build_shard_specs("tqs", config, parallel.workers,
+                               dialect=dialect.name)
     return run_parallel_shards(shards, parallel)
 
 
@@ -606,12 +919,8 @@ def run_parallel_baseline_campaign(baseline_name: str, dialect,
     """Shard one baseline campaign (PQS / TLP / NoRec) across worker processes."""
     config = config or CampaignConfig()
     parallel = parallel or ParallelCampaignConfig()
-    shards = [
-        ShardSpec(shard_id=shard_id, kind="baseline", config=shard_config,
-                  dialect=dialect.name, baseline=baseline_name)
-        for shard_id, shard_config in enumerate(
-            shard_campaign_configs(config, parallel.workers))
-    ]
+    shards = build_shard_specs("baseline", config, parallel.workers,
+                               dialect=dialect.name, baseline=baseline_name)
     return run_parallel_shards(shards, parallel)
 
 
@@ -627,12 +936,8 @@ def run_parallel_differential_campaign(backend_name: str,
     """
     config = config or CampaignConfig()
     parallel = parallel or ParallelCampaignConfig()
-    shards = [
-        ShardSpec(shard_id=shard_id, kind="differential", config=shard_config,
-                  backend=backend_name)
-        for shard_id, shard_config in enumerate(
-            shard_campaign_configs(config, parallel.workers))
-    ]
+    shards = build_shard_specs("differential", config, parallel.workers,
+                               backend=backend_name)
     return run_parallel_shards(shards, parallel)
 
 
@@ -678,6 +983,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--worker-timeout", type=float, default=300.0,
                         help="seconds without hearing from any worker before "
                              "the pool is declared dead (default: 300)")
+    parser.add_argument("--transport", choices=("local", "tcp"),
+                        default="local",
+                        help="sync transport: in-process queues or a "
+                             "localhost TCP index server (default: local)")
+    parser.add_argument("--no-prune", action="store_true",
+                        help="disable novelty pruning: rebroadcast every "
+                             "other worker's entries, not just label-novel "
+                             "ones")
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
@@ -691,6 +1004,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         sync_interval=args.sync_interval,
         worker_timeout=args.worker_timeout,
+        transport=args.transport,
+        prune_broadcasts=not args.no_prune,
     )
     if args.kind == "tqs":
         outcome = run_parallel_tqs_campaign(dialect_by_name(args.dialect),
@@ -718,9 +1033,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(outcome.merged.bug_log.summary())
     print(f"{final.queries_generated} queries in {outcome.elapsed_seconds:.1f}s "
           f"({outcome.queries_per_second:.1f} q/s) across {outcome.workers} "
-          f"workers, {outcome.sync_rounds} sync rounds, central index: "
+          f"workers over {outcome.transport} transport, "
+          f"{outcome.sync_rounds} sync rounds, central index: "
           f"{outcome.central_index_size} entries / "
-          f"{outcome.central_distinct_labels} distinct structures")
+          f"{outcome.central_distinct_labels} distinct structures, "
+          f"broadcasts: {outcome.broadcast_entries_sent} entries sent, "
+          f"{outcome.broadcast_entries_suppressed} suppressed by novelty "
+          f"pruning")
     return 0
 
 

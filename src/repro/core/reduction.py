@@ -8,12 +8,10 @@ items, keeping a change only when the provided failure predicate still holds.
 """
 
 from __future__ import annotations
-
-from dataclasses import replace
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.expr.ast import And, Expression
-from repro.plan.logical import QuerySpec, SelectItem
+from repro.plan.logical import QuerySpec
 
 FailurePredicate = Callable[[QuerySpec], bool]
 """Returns True when the (reduced) query still triggers the bug."""

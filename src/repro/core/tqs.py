@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.bug_report import BugIncident, BugLog
 from repro.core.reduction import QueryReducer

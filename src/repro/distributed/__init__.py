@@ -1,0 +1,34 @@
+"""Distributed campaign infrastructure: the KQE index server over TCP.
+
+The paper's Figure-10 scale-out keeps one central KQE graph index while N
+clients explore independently.  This package makes that deployment real:
+
+* :mod:`repro.distributed.protocol` — length-prefixed pickle frames and the
+  REGISTER / SYNC / REPORT / SHUTDOWN verbs of the bulk-synchronous protocol.
+* :mod:`repro.distributed.coordinator` — the transport-agnostic central-index
+  state machine with per-worker novelty pruning, shared with the in-process
+  ``multiprocessing`` pool so TCP and local runs are bit-identical.
+* :mod:`repro.distributed.server` — :class:`IndexServer`, a threaded TCP
+  server hosting the coordinator for remote campaign clients.
+* :mod:`repro.distributed.client` — :class:`RemoteSyncTransport` (the
+  :class:`~repro.core.parallel.SyncTransport` implementation over a socket)
+  and :func:`run_remote_client`, the full remote worker.
+* :mod:`repro.distributed.cli` — ``python -m repro.distributed``
+  (``serve`` / ``client`` / ``verify-local``).
+"""
+
+from repro.distributed.coordinator import CentralCoordinator
+from repro.distributed.protocol import (
+    IndexEntry,
+    SyncBroadcast,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "CentralCoordinator",
+    "IndexEntry",
+    "SyncBroadcast",
+    "recv_frame",
+    "send_frame",
+]

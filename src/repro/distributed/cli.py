@@ -1,0 +1,354 @@
+"""``python -m repro.distributed`` — run distributed campaigns over TCP.
+
+Three subcommands:
+
+``serve``
+    Host the central KQE index server for one campaign: builds the same shard
+    assignments the in-process pool would, waits for N clients to register,
+    coordinates the bulk-synchronous rounds with novelty pruning, merges the
+    reports, prints the summary and optionally writes the campaign JSON.
+
+``client``
+    Connect to a server, receive a shard assignment, run it, upload the
+    report.  Start one per machine (or per CI step).
+
+``verify-local``
+    Re-run the campaign recorded in a serve-produced JSON file through the
+    in-process pool and assert the merged results are identical — the
+    distributed determinism contract, checkable post hoc from the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import (
+    ParallelCampaignConfig,
+    build_shard_specs,
+    finalize_parallel_result,
+    run_parallel_shards,
+    sync_schedule,
+)
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kind",
+        choices=("tqs", "baseline", "differential"),
+        default="tqs",
+        help="campaign kind (default: tqs)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="number of client shards to coordinate (default: 2)",
+    )
+    parser.add_argument(
+        "--hours", type=int, default=24, help="simulated hours (default: 24)"
+    )
+    parser.add_argument(
+        "--queries-per-hour",
+        type=int,
+        default=12,
+        help="total generation budget per hour across all clients (default: 12)",
+    )
+    parser.add_argument(
+        "--dataset", default="shopping", help="DSG dataset name (default: shopping)"
+    )
+    parser.add_argument(
+        "--dataset-rows",
+        type=int,
+        default=150,
+        help="wide-table rows per shard (default: 150)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=5,
+        help="campaign seed; shard seeds are derived from it (default: 5)",
+    )
+    parser.add_argument(
+        "--sync-interval",
+        type=int,
+        default=1,
+        help="hours between KQE index syncs; 0 disables (default: 1)",
+    )
+    parser.add_argument(
+        "--dialect",
+        default="SimMySQL",
+        help="simulated DBMS for tqs/baseline campaigns (default: SimMySQL)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="NoRec",
+        help="baseline name for --kind baseline (default: NoRec)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="sqlite",
+        help="backend name for --kind differential (default: sqlite)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable novelty pruning (rebroadcast every entry)",
+    )
+
+
+def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(
+        dataset=args.dataset,
+        dataset_rows=args.dataset_rows,
+        hours=args.hours,
+        queries_per_hour=args.queries_per_hour,
+        seed=args.seed,
+    )
+
+
+def _campaign_echo(args: argparse.Namespace) -> Dict[str, Any]:
+    """The campaign invocation, embedded in the JSON so verify-local can rerun it."""
+    return {
+        "kind": args.kind,
+        "workers": args.workers,
+        "dataset": args.dataset,
+        "dataset_rows": args.dataset_rows,
+        "hours": args.hours,
+        "queries_per_hour": args.queries_per_hour,
+        "seed": args.seed,
+        "sync_interval": args.sync_interval,
+        "dialect": args.dialect,
+        "baseline": args.baseline,
+        "backend": args.backend,
+        "prune": not args.no_prune,
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import (
+        parallel_result_to_dict,
+        render_worker_pool,
+        write_parallel_result_json,
+    )
+    from repro.distributed.server import IndexServer
+
+    config = _campaign_config(args)
+    shards = build_shard_specs(
+        args.kind,
+        config,
+        args.workers,
+        dialect=args.dialect,
+        baseline=args.baseline,
+        backend=args.backend,
+    )
+    server = IndexServer(
+        shards=shards,
+        sync_hours=sync_schedule(config.hours, args.sync_interval),
+        host=args.host,
+        port=args.port,
+        prune=not args.no_prune,
+        round_timeout=args.round_timeout,
+    )
+    server.start()
+    print(
+        f"index server listening on {server.host}:{server.port} "
+        f"(expecting {len(shards)} clients, "
+        f"novelty pruning {'off' if args.no_prune else 'on'})",
+        flush=True,
+    )
+    start = time.perf_counter()
+    try:
+        completed = server.wait(args.serve_timeout)
+        if not completed:
+            server.fail(f"no complete campaign within {args.serve_timeout:.0f}s")
+        if server.failure is not None:
+            print(f"campaign failed: {server.failure}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - start
+        outcome = finalize_parallel_result(
+            list(server.reports.values()),
+            server.coordinator,
+            workers=len(shards),
+            sync_rounds=len(server.sync_hours),
+            elapsed_seconds=elapsed,
+            transport="tcp",
+        )
+    finally:
+        server.stop()
+    print(render_worker_pool(outcome))
+    print(
+        f"broadcasts: {outcome.broadcast_entries_sent} entries sent, "
+        f"{outcome.broadcast_entries_suppressed} suppressed by novelty pruning"
+    )
+    if args.output:
+        write_parallel_result_json(outcome, args.output, campaign=_campaign_echo(args))
+        print(f"campaign JSON written to {args.output}")
+    else:
+        # Keep stdout machine-checkable even without an output file.
+        summary = parallel_result_to_dict(outcome, campaign=_campaign_echo(args))
+        print(json.dumps(summary["summary"]["merged"]["samples"][-1], sort_keys=True))
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.distributed.client import run_remote_client
+
+    report = run_remote_client(
+        args.host,
+        args.port,
+        connect_timeout=args.connect_timeout,
+        io_timeout=args.io_timeout,
+    )
+    final = report.samples[-1]
+    print(
+        f"shard {report.shard_id} done ({report.tool} vs {report.dbms} on "
+        f"{report.dataset}): {final.queries_generated} queries, "
+        f"{final.isomorphic_sets} isomorphic sets, {final.bug_count} bugs; "
+        f"shipped {report.entries_shipped} index entries, received "
+        f"{report.broadcast_entries_received} "
+        f"(+{report.broadcast_entries_suppressed} suppressed as already known)"
+    )
+    return 0
+
+
+def _cmd_verify_local(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import parallel_result_to_dict
+
+    with open(args.json, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    campaign = recorded.get("campaign")
+    if not campaign:
+        print("JSON file carries no campaign block; cannot re-run", file=sys.stderr)
+        return 2
+    config = CampaignConfig(
+        dataset=campaign["dataset"],
+        dataset_rows=campaign["dataset_rows"],
+        hours=campaign["hours"],
+        queries_per_hour=campaign["queries_per_hour"],
+        seed=campaign["seed"],
+    )
+    shards = build_shard_specs(
+        campaign["kind"],
+        config,
+        campaign["workers"],
+        dialect=campaign["dialect"],
+        baseline=campaign["baseline"],
+        backend=campaign["backend"],
+    )
+    outcome = run_parallel_shards(
+        shards,
+        ParallelCampaignConfig(
+            workers=campaign["workers"],
+            sync_interval=campaign["sync_interval"],
+            worker_timeout=args.worker_timeout,
+            prune_broadcasts=campaign["prune"],
+        ),
+    )
+    local = parallel_result_to_dict(outcome, campaign=campaign)
+    mismatches = _diff_summaries(recorded["summary"], local["summary"])
+    if mismatches:
+        print("distributed result DIFFERS from the in-process pool:")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    merged = recorded["summary"]["merged"]["samples"][-1]
+    print(
+        "verified: TCP campaign matches the in-process pool "
+        f"({merged['queries_generated']} queries, "
+        f"{merged['isomorphic_sets']} isomorphic sets, "
+        f"{merged['bug_count']} bugs)"
+    )
+    return 0
+
+
+def _diff_summaries(recorded: Any, local: Any, path: str = "") -> List[str]:
+    """Human-readable paths at which two summary trees disagree."""
+    if isinstance(recorded, dict) and isinstance(local, dict):
+        lines: List[str] = []
+        for key in sorted(set(recorded) | set(local)):
+            lines.extend(
+                _diff_summaries(
+                    recorded.get(key), local.get(key), f"{path}.{key}" if path else key
+                )
+            )
+        return lines
+    if isinstance(recorded, list) and isinstance(local, list):
+        if len(recorded) != len(local):
+            return [f"{path}: {len(recorded)} entries vs {len(local)}"]
+        lines = []
+        for index, (left, right) in enumerate(zip(recorded, local)):
+            lines.extend(_diff_summaries(left, right, f"{path}[{index}]"))
+        return lines
+    if recorded != local:
+        return [f"{path}: {recorded!r} vs {local!r}"]
+    return []
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distributed",
+        description="Distributed KQE index server and campaign clients over TCP.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    serve = subparsers.add_parser("serve", help="host the central index server")
+    _add_campaign_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port; 0 = ephemeral (default: 0)"
+    )
+    serve.add_argument(
+        "--round-timeout",
+        type=float,
+        default=300.0,
+        help="seconds of total client silence before a sync barrier is "
+        "declared dead (default: 300)",
+    )
+    serve.add_argument(
+        "--serve-timeout",
+        type=float,
+        default=1800.0,
+        help="overall deadline for the campaign (default: 1800)",
+    )
+    serve.add_argument(
+        "--output", default="", help="write the merged campaign JSON to this path"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = subparsers.add_parser("client", help="run one campaign shard")
+    client.add_argument("--host", default="127.0.0.1", help="server address")
+    client.add_argument("--port", type=int, required=True, help="server port")
+    client.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to keep retrying the initial connection (default: 60)",
+    )
+    client.add_argument(
+        "--io-timeout",
+        type=float,
+        default=600.0,
+        help="socket timeout for sync barriers (default: 600)",
+    )
+    client.set_defaults(func=_cmd_client)
+
+    verify = subparsers.add_parser(
+        "verify-local",
+        help="re-run a recorded campaign in-process and compare results",
+    )
+    verify.add_argument("--json", required=True, help="serve-produced JSON file")
+    verify.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=300.0,
+        help="worker timeout for the verification pool (default: 300)",
+    )
+    verify.set_defaults(func=_cmd_verify_local)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

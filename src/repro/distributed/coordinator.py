@@ -1,0 +1,90 @@
+"""Central-index coordination shared by the in-process pool and the TCP server.
+
+The paper's scale-out design (§4, Figure 10) keeps one central KQE graph index
+while N clients explore independently; the only shared state is the index, and
+the only protocol is the bulk-synchronous exchange of (embedding, canonical
+label) batches.  :class:`CentralCoordinator` is that state machine, factored
+out of the transport so the ``multiprocessing`` pool and the distributed TCP
+index server run *the same* merge and broadcast logic — which is exactly what
+makes a 2-client TCP campaign bit-identical to a 2-worker in-process one.
+
+It also owns the novelty pruning: the coordinator tracks, per worker, the set
+of canonical labels that worker is known to hold (everything it submitted plus
+everything already broadcast to it) and re-broadcasts only label-novel
+entries.  Duplicate-label embeddings refine local coverage estimates slightly,
+but the label is what the diversity metric and the termination heuristic key
+on — so dropping already-known labels shrinks sync payloads on long campaigns
+without losing exploration signal.  Pruned and unpruned runs are both
+deterministic; they are simply *different* deterministic runs, so the switch
+lives in the campaign configuration, not in transport flags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set
+
+import numpy as np
+
+from repro.distributed.protocol import IndexEntry, SyncBroadcast
+from repro.kqe.graph_index import GraphIndex
+
+
+class CentralCoordinator:
+    """Owns the central graph index and the per-worker novelty bookkeeping."""
+
+    def __init__(self, prune: bool = True) -> None:
+        self.index = GraphIndex()
+        self.prune = prune
+        self.broadcast_entries_sent = 0
+        self.broadcast_entries_suppressed = 0
+        self._known: Dict[int, Set[str]] = {}
+
+    def known_labels(self, shard_id: int) -> Set[str]:
+        """The canonical labels worker *shard_id* is known to hold."""
+        return self._known.setdefault(shard_id, set())
+
+    def absorb(self, entries: Iterable[IndexEntry]) -> int:
+        """Fold entries into the central index; returns how many were added."""
+        count = 0
+        for vector, label in entries:
+            self.index.add_embedding(np.asarray(vector, dtype=np.float64), label)
+            count += 1
+        return count
+
+    def complete_round(
+        self, batches: Mapping[int, Sequence[IndexEntry]]
+    ) -> Dict[int, SyncBroadcast]:
+        """Merge one bulk-synchronous round and compute per-worker broadcasts.
+
+        Batches are absorbed in sorted shard order (arrival order must not
+        matter, or TCP timing would leak into results).  Each worker's
+        broadcast is the other workers' entries, in that same order, minus the
+        entries whose canonical label the worker already holds — its own
+        submissions and everything previously broadcast to it.  Within one
+        round the first occurrence of a novel label is forwarded and later
+        duplicates are suppressed.
+        """
+        order = sorted(batches)
+        for shard_id in order:
+            self.absorb(batches[shard_id])
+            known = self.known_labels(shard_id)
+            for _, label in batches[shard_id]:
+                known.add(label)
+        broadcasts: Dict[int, SyncBroadcast] = {}
+        for shard_id in order:
+            known = self.known_labels(shard_id)
+            entries: List[IndexEntry] = []
+            suppressed = 0
+            for other in order:
+                if other == shard_id:
+                    continue
+                for vector, label in batches[other]:
+                    if self.prune and label in known:
+                        suppressed += 1
+                    else:
+                        entries.append((vector, label))
+                        known.add(label)
+            broadcasts[shard_id] = SyncBroadcast(entries=entries, suppressed=suppressed)
+            self.broadcast_entries_sent += len(entries)
+            self.broadcast_entries_suppressed += suppressed
+        return broadcasts

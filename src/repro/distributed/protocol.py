@@ -1,0 +1,134 @@
+"""Wire protocol of the distributed KQE index server.
+
+The parallel campaign runner's synchronization protocol is bulk-synchronous and
+transport-agnostic: workers ship batches of (embedding, canonical label) pairs
+at hour boundaries and block until the coordinator broadcasts the other
+workers' entries back.  This module pins down the TCP encoding of that
+protocol: length-prefixed pickle frames carrying small tagged tuples.
+
+Frame layout::
+
+    +----------------+----------------------+
+    | 4-byte big-    | pickled message      |
+    | endian length  | (a tagged tuple)     |
+    +----------------+----------------------+
+
+Messages are plain tuples whose first element is one of the verb constants
+below; payloads are stdlib/dataclass objects so both ends only need this
+package importable.  Pickle is the right trade-off here: the index server is a
+campaign-internal coordination service run on trusted hosts (the same trust
+model as ``multiprocessing``'s own pickled queues), not an
+internet-facing endpoint.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import TransportError
+
+# Serialized index entries: (embedding as a plain list, canonical label).
+IndexEntry = Tuple[List[float], str]
+
+# Client -> server verbs.
+REGISTER = "register"
+SYNC = "sync"
+TICK = "tick"
+REPORT = "report"
+ERROR = "error"
+SHUTDOWN = "shutdown"
+
+# Server -> client replies.
+REGISTERED = "registered"
+BROADCAST = "broadcast"
+OK = "ok"
+ABORT = "abort"
+
+# A frame bigger than this is a corrupt length prefix, not a real batch: even a
+# pathological campaign ships a few thousand 64-float embeddings per round.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+@dataclass
+class SyncBroadcast:
+    """The coordinator's answer to one worker's sync: the other workers' news.
+
+    ``entries`` is what the worker must fold into its local graph index;
+    ``suppressed`` counts the entries the coordinator's novelty pruning held
+    back because their canonical label was already known to this worker — the
+    payload reduction the pruning buys, surfaced so it is measurable.
+    """
+
+    entries: List[IndexEntry] = field(default_factory=list)
+    suppressed: int = 0
+
+
+def send_frame(sock: socket.socket, message: Any) -> None:
+    """Serialize *message* and write one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES}); batch your entries"
+        )
+    try:
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes; None on a clean EOF before the first byte."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as exc:
+            raise TransportError(
+                f"receive timed out after {sock.gettimeout()}s"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(f"receive failed: {exc}") from exc
+        if not chunk:
+            if not chunks:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, allow_eof: bool = False) -> Any:
+    """Read one frame; returns the message, or None on clean EOF if allowed."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        if allow_eof:
+            return None
+        raise TransportError("connection closed while waiting for a frame")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}; corrupt stream?"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise TransportError("connection closed between header and payload")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise TransportError(f"cannot unpickle frame: {exc}") from exc
+
+
+def request(sock: socket.socket, message: Any) -> Any:
+    """One request/response round trip."""
+    send_frame(sock, message)
+    return recv_frame(sock)

@@ -1,0 +1,344 @@
+"""The distributed KQE index server: the paper's central index, over TCP.
+
+:class:`IndexServer` hosts one
+:class:`~repro.distributed.coordinator.CentralCoordinator` behind a
+``socketserver.ThreadingTCPServer`` and speaks the bulk-synchronous protocol
+of :mod:`repro.distributed.protocol`: clients REGISTER (either claiming a
+pre-assigned shard id or asking the server to assign one of the campaign's
+shards), SYNC a batch at every scheduled hour boundary and block until the
+round's broadcast, REPORT their finished shard, and may request SHUTDOWN.
+
+One handler thread serves each client connection; the sync barrier is a
+condition variable: the thread that delivers the round's last batch computes
+every worker's (novelty-pruned) broadcast under the lock, so results do not
+depend on network timing — a campaign run against this server is
+bit-identical to the in-process pool for the same seed.
+
+Liveness mirrors the in-process coordinator: any protocol message (including
+out-of-band TICK heartbeats from workers mid-hour) refreshes the activity
+clock, and a barrier only declares the pool dead after ``round_timeout``
+seconds of *total silence* — a slow hour never kills a healthy campaign.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.parallel import ShardSpec, WorkerReport
+from repro.distributed import protocol
+from repro.distributed.coordinator import CentralCoordinator
+from repro.distributed.protocol import IndexEntry, SyncBroadcast
+from repro.errors import TransportError
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Set after construction; typed here so handlers can reach the owner.
+    index_server: "IndexServer"
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One client connection: a loop of (frame in, frame out) exchanges."""
+
+    def handle(self) -> None:
+        owner = self.server.index_server  # type: ignore[attr-defined]
+        sock: socket.socket = self.request
+        sock.settimeout(owner.round_timeout + 30.0)
+        shard_ids: List[int] = []
+        try:
+            while True:
+                message = protocol.recv_frame(sock, allow_eof=True)
+                if message is None:
+                    break
+                reply, keep_going = owner.dispatch(message, shard_ids)
+                if reply is not None:
+                    protocol.send_frame(sock, reply)
+                if not keep_going:
+                    break
+        except TransportError as exc:
+            owner.connection_broken(shard_ids, str(exc))
+        finally:
+            owner.connection_closed(shard_ids)
+
+
+class IndexServer:
+    """Hosts the central graph index for N campaign workers over TCP."""
+
+    def __init__(
+        self,
+        shards: Sequence[ShardSpec],
+        sync_hours: Sequence[int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prune: bool = True,
+        round_timeout: float = 300.0,
+    ) -> None:
+        if not shards:
+            raise TransportError("an index server needs at least one shard")
+        self.sync_hours: Tuple[int, ...] = tuple(sync_hours)
+        self.round_timeout = round_timeout
+        self.coordinator = CentralCoordinator(prune=prune)
+        self.reports: Dict[int, WorkerReport] = {}
+        self.expected = len(shards)
+        self._shards = {spec.shard_id: spec for spec in shards}
+        self._assignable: List[ShardSpec] = sorted(
+            shards, key=lambda spec: spec.shard_id
+        )
+        self._registered: set = set()
+        self._round_batches: Dict[int, Dict[int, List[IndexEntry]]] = {}
+        self._round_broadcasts: Dict[int, Dict[int, SyncBroadcast]] = {}
+        self._round_deliveries: Dict[int, int] = {}
+        self._completed_hours: set = set()
+        self._cond = threading.Condition()
+        self._done = threading.Event()
+        self._failure: Optional[str] = None
+        self._last_activity = time.monotonic()
+        self._server = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._server.index_server = self
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "IndexServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name=f"kqe-index-server-{self.port}",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and close the listening socket (idempotent)."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every shard reported (or the campaign failed)."""
+        return self._done.wait(timeout)
+
+    @property
+    def failure(self) -> Optional[str]:
+        """Why the campaign died, or None while it is healthy."""
+        with self._cond:
+            return self._failure
+
+    @property
+    def completed(self) -> bool:
+        """True when every expected shard delivered its report."""
+        with self._cond:
+            return len(self.reports) == self.expected
+
+    def seconds_since_activity(self) -> float:
+        """Seconds since the last protocol message from any client."""
+        with self._cond:
+            return time.monotonic() - self._last_activity
+
+    # -------------------------------------------------------------- failures
+
+    def fail(self, reason: str) -> None:
+        """Mark the campaign dead; wakes every barrier and waiter."""
+        with self._cond:
+            self._fail_locked(reason)
+
+    def _fail_locked(self, reason: str) -> None:
+        # Completion wins races: once every shard has reported, a late
+        # failure signal (e.g. the serve CLI's overall timeout firing just as
+        # the last REPORT lands) must not discard a finished campaign.
+        if self._failure is None and len(self.reports) < self.expected:
+            self._failure = reason
+        self._done.set()
+        self._cond.notify_all()
+
+    def connection_broken(self, shard_ids: List[int], detail: str) -> None:
+        """A client connection died mid-protocol."""
+        with self._cond:
+            missing = [sid for sid in shard_ids if sid not in self.reports]
+            if missing and not self._done.is_set():
+                self._fail_locked(
+                    f"connection for shard(s) {missing} broke "
+                    f"before reporting: {detail}"
+                )
+
+    def connection_closed(self, shard_ids: List[int]) -> None:
+        """A client connection reached EOF; fine unless its report is missing."""
+        with self._cond:
+            missing = [sid for sid in shard_ids if sid not in self.reports]
+            if missing and self._failure is None and not self._done.is_set():
+                self._fail_locked(
+                    f"client for shard(s) {missing} disconnected before reporting"
+                )
+
+    # ------------------------------------------------------------ dispatch
+
+    def dispatch(self, message, shard_ids: List[int]):
+        """Handle one protocol message; returns (reply, keep_connection)."""
+        if not isinstance(message, tuple) or not message:
+            return (protocol.ABORT, "malformed message"), False
+        verb = message[0]
+        if verb == protocol.REGISTER:
+            return self._register(message[1], shard_ids), True
+        if verb == protocol.TICK:
+            self._touch()
+            return (protocol.OK,), True
+        if verb == protocol.SYNC:
+            _, shard_id, hour, entries = message
+            return self._sync(shard_id, hour, entries), True
+        if verb == protocol.REPORT:
+            return self._report(message[1]), True
+        if verb == protocol.ERROR:
+            _, shard_id, text = message
+            # Only a *registered* worker's failure dooms the campaign.  A
+            # superfluous client whose registration was rejected (operator
+            # over-provisioned, or a crashed client restarted) also reports an
+            # error on its way out; a healthy run must shrug that off.
+            with self._cond:
+                if shard_id in self._registered:
+                    self._fail_locked(f"worker {shard_id} failed:\n{text}")
+            return (protocol.OK,), True
+        if verb == protocol.SHUTDOWN:
+            self._shutdown_requested()
+            return (protocol.OK,), False
+        return (protocol.ABORT, f"unknown verb {verb!r}"), False
+
+    def _touch(self) -> None:
+        with self._cond:
+            self._last_activity = time.monotonic()
+
+    def _register(self, shard_id: Optional[int], shard_ids: List[int]):
+        with self._cond:
+            self._last_activity = time.monotonic()
+            if self._failure is not None:
+                return (protocol.ABORT, self._failure)
+            if shard_id is None:
+                # Server-side assignment: hand out the next unassigned shard.
+                unassigned = [
+                    spec
+                    for spec in self._assignable
+                    if spec.shard_id not in self._registered
+                ]
+                if not unassigned:
+                    return (
+                        protocol.ABORT,
+                        f"all {self.expected} shards already have clients",
+                    )
+                spec: Optional[ShardSpec] = unassigned[0]
+                shard_id = unassigned[0].shard_id
+            else:
+                if shard_id not in self._shards:
+                    return (protocol.ABORT, f"unknown shard id {shard_id}")
+                if shard_id in self._registered:
+                    return (protocol.ABORT, f"shard {shard_id} already registered")
+                spec = None  # the client brought its own spec
+            self._registered.add(shard_id)
+            shard_ids.append(shard_id)
+            return (protocol.REGISTERED, spec, self.sync_hours)
+
+    def _sync(self, shard_id: int, hour: int, entries: List[IndexEntry]):
+        with self._cond:
+            self._last_activity = time.monotonic()
+            if self._failure is not None:
+                return (protocol.ABORT, self._failure)
+            if shard_id not in self._registered:
+                # A stray batch must not count toward (or corrupt) the
+                # barrier; diagnose it instead of letting a later broadcast
+                # lookup blow up on a legit worker's handler thread.
+                self._fail_locked(
+                    f"protocol violation: sync from unregistered shard {shard_id}"
+                )
+                return (protocol.ABORT, self._failure)
+            if hour not in self.sync_hours or hour in self._completed_hours:
+                self._fail_locked(
+                    f"protocol violation: sync at unscheduled or already "
+                    f"completed hour {hour}"
+                )
+                return (protocol.ABORT, self._failure)
+            batches = self._round_batches.setdefault(hour, {})
+            if shard_id in batches:
+                self._fail_locked(
+                    f"protocol violation: duplicate sync from shard "
+                    f"{shard_id} at hour {hour}"
+                )
+                return (protocol.ABORT, self._failure)
+            batches[shard_id] = entries
+            if len(batches) == self.expected:
+                # Last arrival completes the round for everyone, under the
+                # lock, in sorted shard order — timing cannot leak into the
+                # merged index or the broadcasts.
+                self._round_broadcasts[hour] = self.coordinator.complete_round(batches)
+                self._cond.notify_all()
+            while hour not in self._round_broadcasts and self._failure is None:
+                self._cond.wait(timeout=1.0)
+                if (
+                    hour not in self._round_broadcasts
+                    and self._failure is None
+                    and time.monotonic() - self._last_activity > self.round_timeout
+                ):
+                    self._fail_locked(
+                        f"sync barrier at hour {hour} heard nothing for "
+                        f"{self.round_timeout:.0f}s "
+                        f"({len(batches)}/{self.expected} batches in); "
+                        "assuming a dead worker"
+                    )
+            if self._failure is not None:
+                return (protocol.ABORT, self._failure)
+            broadcast = self._round_broadcasts[hour][shard_id]
+            # Free the round's payloads once every worker has fetched its
+            # broadcast — a long campaign must not accumulate every round's
+            # raw embedding batches in server memory.
+            self._round_deliveries[hour] = self._round_deliveries.get(hour, 0) + 1
+            if self._round_deliveries[hour] == self.expected:
+                self._completed_hours.add(hour)
+                del self._round_batches[hour]
+                del self._round_broadcasts[hour]
+                del self._round_deliveries[hour]
+            return (protocol.BROADCAST, broadcast)
+
+    def _report(self, report: WorkerReport):
+        with self._cond:
+            self._last_activity = time.monotonic()
+            if self._failure is not None:
+                return (protocol.ABORT, self._failure)
+            if report.shard_id not in self._registered:
+                self._fail_locked(
+                    f"protocol violation: report from unregistered shard "
+                    f"{report.shard_id}"
+                )
+                return (protocol.ABORT, self._failure)
+            if report.shard_id in self.reports:
+                self._fail_locked(
+                    f"protocol violation: duplicate report for shard "
+                    f"{report.shard_id}"
+                )
+                return (protocol.ABORT, self._failure)
+            self.coordinator.absorb(report.unsynced_entries)
+            self.reports[report.shard_id] = report
+            if len(self.reports) == self.expected:
+                self._done.set()
+                self._cond.notify_all()
+            return (protocol.OK,)
+
+    def _shutdown_requested(self) -> None:
+        with self._cond:
+            self._last_activity = time.monotonic()
+            if len(self.reports) < self.expected:
+                self._fail_locked("shutdown requested before campaign completed")
+        # Stop serving from a helper thread: stop() joins the serve-forever
+        # thread, which is fine from a handler thread but must not run under
+        # the condition lock.
+        threading.Thread(target=self.stop, daemon=True).start()

@@ -11,9 +11,9 @@ DSG pipeline and fault triggers.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from decimal import Decimal
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.catalog.column import Column
 from repro.dsg.fd import FunctionalDependency
@@ -23,7 +23,6 @@ from repro.sqlvalue.datatypes import (
     char,
     decimal,
     double,
-    float_type,
     integer,
     varchar,
 )

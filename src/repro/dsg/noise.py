@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from decimal import Decimal
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.catalog.schema import ForeignKey
 from repro.dsg.fd import transitive_closure
@@ -127,7 +127,6 @@ class NoiseInjector:
         ndb = self.ndb
         affected_wide = ndb.rowid_map.wide_rows_of(table, row_id)
         dependents = self._dependent_columns(column)
-        old_value = ndb.database.table(table).rows[row_id][column]
         # Corrupt the stored table cell.
         ndb.database.update_cell(table, row_id, column, noise_value)
         # Insertion: a new wide row carrying the noisy key and its dependents.

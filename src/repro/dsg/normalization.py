@@ -10,8 +10,8 @@ the schema metadata, because those are what the join query generator walks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.column import Column
 from repro.catalog.schema import DatabaseSchema, ForeignKey

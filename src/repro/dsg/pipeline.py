@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.dsg.datasets import DatasetSpec, build_dataset
 from repro.dsg.ground_truth import GroundTruth, GroundTruthOracle

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dsg.noise import NoiseReport
 from repro.dsg.normalization import NormalizedDatabase
-from repro.dsg.schema_graph import JoinEdge, SchemaGraph
+from repro.dsg.schema_graph import SchemaGraph
 from repro.errors import GenerationError
 from repro.expr.ast import ColumnRef, Expression, conjoin
 from repro.expr.builder import PredicateBuilder

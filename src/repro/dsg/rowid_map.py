@@ -8,7 +8,7 @@ given table row — is what the noise synchronizer needs (``RowMap(T_i, row_j)``
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class RowIDMap:

@@ -9,11 +9,11 @@ The graph is also the skeleton that KQE extends into the plan-iterative graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 import networkx as nx
 
-from repro.catalog.schema import DatabaseSchema, ForeignKey
+from repro.catalog.schema import DatabaseSchema
 
 
 @dataclass(frozen=True)

@@ -9,8 +9,8 @@ conditions follow the bug listings quoted in §5.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.engine.faults import (
     ActiveFaults,

@@ -19,7 +19,7 @@ mirroring how the real bugs only manifest under particular physical plans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from decimal import Decimal
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -29,7 +29,7 @@ from repro.plan.physical import ExecRow, ExecutionHooks, JoinAlgorithm, TriggerC
 from repro.sqlvalue.casts import cast_for_domain, to_double_lossy
 from repro.sqlvalue.comparison import correct_hash_key
 from repro.sqlvalue.datatypes import TypeCategory
-from repro.sqlvalue.values import NULL, canonical_numeric, is_null
+from repro.sqlvalue.values import NULL, canonical_numeric
 
 HASH_BASED_ALGORITHMS = frozenset(
     {

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sqlvalue.values import NULL, is_null, normalize_row, row_sort_key
+from repro.sqlvalue.values import is_null, normalize_row, row_sort_key
 
 
 class ResultSet:

@@ -55,6 +55,10 @@ class CampaignError(ReproError):
     """Raised for invalid testing-campaign configurations."""
 
 
+class TransportError(CampaignError):
+    """Raised when a distributed sync transport fails (framing, I/O, protocol)."""
+
+
 class BackendError(ReproError):
     """Raised when a real-DBMS backend adapter fails (connection, load, execute)."""
 

@@ -9,7 +9,7 @@ nothing.
 from __future__ import annotations
 
 import random
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.catalog.column import Column
 from repro.expr.ast import (

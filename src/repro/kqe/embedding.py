@@ -12,7 +12,7 @@ labels/edges produce vectors at small cosine distance.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List
 
 import numpy as np
 

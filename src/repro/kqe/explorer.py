@@ -14,8 +14,6 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.catalog.schema import DatabaseSchema
 from repro.dsg.query_gen import CandidateExtension
 from repro.kqe.embedding import GraphEmbedder
@@ -47,11 +45,11 @@ def alias_sample(weights: Sequence[float], rng: random.Random) -> int:
     alias_table = [0] * n
     while small and large:
         s = small.pop()
-        l = large.pop()
+        g = large.pop()
         prob_table[s] = probabilities[s]
-        alias_table[s] = l
-        probabilities[l] = probabilities[l] - (1.0 - probabilities[s])
-        (small if probabilities[l] < 1.0 else large).append(l)
+        alias_table[s] = g
+        probabilities[g] = probabilities[g] - (1.0 - probabilities[s])
+        (small if probabilities[g] < 1.0 else large).append(g)
     for index in large + small:
         prob_table[index] = 1.0
         alias_table[index] = index

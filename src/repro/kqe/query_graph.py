@@ -9,14 +9,13 @@ filter, projection, group by, aggregate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 import networkx as nx
 
 from repro.catalog.schema import DatabaseSchema
-from repro.expr.ast import ColumnRef
-from repro.plan.logical import JoinType, QuerySpec
+from repro.plan.logical import QuerySpec
 
 TABLE_LABEL = "table"
 

@@ -10,7 +10,6 @@ meaningful for the TQS!GT ablation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.plan.logical import JoinType
 from repro.plan.physical import JoinAlgorithm

@@ -11,7 +11,7 @@ the same logical query (the ``trans_q`` of Algorithm 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import HintError

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.catalog.schema import DatabaseSchema
-from repro.errors import PlanError
 from repro.expr.ast import EvalContext
 from repro.optimizer.cost import JoinCostInput, choose_algorithm
 from repro.optimizer.hints import HintSet, default_hints
@@ -21,7 +20,6 @@ from repro.plan.operators import (
 )
 from repro.plan.physical import (
     ExecutionHooks,
-    JoinAlgorithm,
     PhysicalOperator,
     TriggerContext,
 )

@@ -19,7 +19,7 @@ The effect names understood by this module are listed in ``EFFECT_NAMES``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.expr.ast import EvalContext, Expression
@@ -33,7 +33,6 @@ from repro.plan.physical import (
     merge_rows,
     null_row,
 )
-from repro.sqlvalue.casts import cast_for_domain
 from repro.sqlvalue.comparison import sql_compare, truth_value
 from repro.sqlvalue.datatypes import TypeCategory
 from repro.sqlvalue.values import is_null, value_sort_key

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from decimal import Decimal
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.expr.ast import ColumnRef, EvalContext, Expression
@@ -15,7 +15,7 @@ from repro.plan.logical import (
 )
 from repro.plan.physical import ExecRow, PhysicalOperator
 from repro.sqlvalue.comparison import truth_value
-from repro.sqlvalue.values import NULL, is_null, normalize_row, row_sort_key, value_sort_key
+from repro.sqlvalue.values import NULL, is_null, normalize_row, value_sort_key
 from repro.storage.database import Database
 
 SubqueryExecutor = Optional[Callable[[Any, EvalContext], List[tuple]]]

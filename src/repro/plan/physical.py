@@ -11,8 +11,8 @@ the logic bugs of Table 4.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
 
 from repro.plan.logical import JoinType
 from repro.sqlvalue.casts import cast_for_domain

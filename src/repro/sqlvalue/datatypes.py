@@ -9,7 +9,7 @@ implicit conversions trigger the seeded logic bugs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import TypeSystemError

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.catalog import Column, DatabaseSchema, ForeignKey, TableSchema
@@ -11,7 +9,7 @@ from repro.dsg import DSG, DSGConfig
 from repro.engine import Engine, SIM_MYSQL, reference_engine
 from repro.expr import ColumnRef, column
 from repro.plan import JoinStep, JoinType, QuerySpec, SelectItem, TableRef
-from repro.sqlvalue import NULL, bigint, decimal, double, integer, varchar
+from repro.sqlvalue import NULL, bigint, decimal, varchar
 from repro.storage import Database
 
 

@@ -1,9 +1,5 @@
 """Tests for bug logs, reduction, the TQS loop and its ablation switches."""
 
-import random
-
-import pytest
-
 from repro.core import BugIncident, BugLog, QueryReducer, TQS, TQSConfig
 from repro.dsg import DSG, DSGConfig
 from repro.engine import Engine, SIM_MYSQL, SIM_XDB, reference_engine

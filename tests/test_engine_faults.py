@@ -35,7 +35,7 @@ from repro.plan import (
     TableRef,
     TriggerContext,
 )
-from repro.sqlvalue import NULL, TypeCategory
+from repro.sqlvalue import NULL
 
 
 class TestResultSet:

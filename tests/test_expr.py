@@ -14,7 +14,6 @@ from repro.expr import (
     FunctionCall,
     InList,
     IsNull,
-    Literal,
     Not,
     Or,
     PredicateBuilder,

@@ -1,10 +1,8 @@
 """Tests for the bitmap ground-truth oracle, including the Table 2 rules."""
 
-import random
-
 import pytest
 
-from repro.dsg import DSG, DSGConfig, GroundTruthOracle, VerificationMode
+from repro.dsg import DSG, DSGConfig, VerificationMode
 from repro.dsg.ground_truth import GroundTruth
 from repro.engine import ResultSet, reference_engine
 from repro.expr import ColumnRef, column, eq, lit

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.dsg import DSG, DSGConfig, HintGenerator, TransformedQuery
 from repro.expr import ColumnRef, column
 from repro.plan import JoinStep, JoinType, QuerySpec, SelectItem, TableRef

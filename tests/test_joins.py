@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.expr import ColumnRef, Comparison, column, lit
+from repro.expr import Comparison, column, lit
 from repro.plan import (
     ExecutionHooks,
     Join,

@@ -1,12 +1,7 @@
 """Property-based tests for join semantics on randomly generated tables."""
-
-import random
-
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.catalog import Column, DatabaseSchema, ForeignKey, TableSchema
-from repro.expr import ColumnRef
 from repro.plan import (
     ExecutionHooks,
     Join,

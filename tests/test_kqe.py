@@ -23,7 +23,6 @@ from repro.plan import JoinStep, JoinType, QuerySpec, SelectItem, TableRef
 
 
 def make_query(dsg, join_type=JoinType.INNER, with_filter=False):
-    hub = dsg.ndb.hub_table
     fk = dsg.ndb.schema.foreign_keys[0]
     child, parent, key = fk.table, fk.ref_table, fk.columns[0]
     query = QuerySpec(
@@ -107,7 +106,6 @@ class TestIsomorphism:
 
 class TestEmbeddingAndIndex:
     def test_isomorphic_graphs_embed_identically(self, shopping_dsg):
-        builder = QueryGraphBuilder(shopping_dsg.ndb.schema)
         embedder = GraphEmbedder()
         g1 = QueryGraph((("a", "table"), ("b", "table")), (("a", "b", "inner"),))
         g2 = QueryGraph((("p", "table"), ("q", "table")), (("q", "p", "inner"),))

@@ -7,7 +7,7 @@ import pytest
 from repro.dsg import NoiseInjector, build_dataset, normalize
 from repro.errors import NoiseInjectionError
 from repro.sqlvalue import is_null
-from repro.sqlvalue.values import canonical_numeric, normalize_row
+from repro.sqlvalue.values import canonical_numeric
 
 
 def fresh_ndb(seed=3, dataset="shopping", rows=90):

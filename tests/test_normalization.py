@@ -10,8 +10,6 @@ from repro.dsg import (
     build_dataset,
     normalize,
 )
-from repro.dsg.fd import FunctionalDependency
-from repro.sqlvalue import NULL, is_null
 from repro.sqlvalue.values import normalize_row
 
 

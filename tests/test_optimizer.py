@@ -8,18 +8,13 @@ from repro.optimizer import (
     HintSet,
     JoinCostInput,
     Planner,
-    bka_join_hints,
-    block_nested_loop_hints,
     choose_algorithm,
     default_hints,
     estimate_cost,
     hash_join_hints,
-    join_cache_off_hints,
     join_order_hints,
-    merge_join_hints,
     nested_loop_hints,
     no_materialization_hints,
-    no_semijoin_hints,
     standard_hint_sets,
 )
 from repro.optimizer.hints import join_buffer_minimal_hints

@@ -7,8 +7,6 @@ clean reference engine and require zero mismatches, and additionally check the
 complementary property that seeded faults *are* observable.
 """
 
-import random
-
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -83,8 +83,8 @@ class TestRealWorkerPool:
         second = run_parallel_tqs_campaign(SIM_MYSQL, FAST, POOL)
         assert first.merged.samples == second.merged.samples
         assert first.merged.bug_log is not None and second.merged.bug_log is not None
-        assert ({(k, l) for k, l in first.merged.bug_log._bug_keys}
-                == {(k, l) for k, l in second.merged.bug_log._bug_keys})
+        assert (set(first.merged.bug_log._bug_keys)
+                == set(second.merged.bug_log._bug_keys))
         assert first.central_index_size == second.central_index_size
         assert first.central_distinct_labels == second.central_distinct_labels
 
@@ -124,8 +124,8 @@ class TestMergeWorkerReports:
         samples = [
             HourlySample(hour=h + 1, queries_generated=2 * (h + 1),
                          queries_executed=4 * (h + 1),
-                         isomorphic_sets=len({l for hour in labels[:h + 1]
-                                              for l in hour}),
+                         isomorphic_sets=len({lab for hour in labels[:h + 1]
+                                              for lab in hour}),
                          bug_count=0, bug_type_count=0)
             for h in range(len(labels))
         ]
@@ -190,6 +190,48 @@ class _FlakyTester:
         self.queries_generated += 1
         self.queries_executed += 1
         self.diversity.add_label(f"L{self._calls}")
+
+
+class _DeadProcess:
+    name = "tqs-shard-1"
+
+    @staticmethod
+    def is_alive():
+        return False
+
+
+class _LiveProcess:
+    name = "tqs-shard-0"
+
+    @staticmethod
+    def is_alive():
+        return True
+
+
+class TestDeadWorkerDetection:
+    def test_receive_fails_fast_on_a_dead_pending_worker(self):
+        """A hard-killed worker must fail the pool even while peers tick."""
+        import queue
+
+        from repro.core.parallel import _receive
+
+        silent = queue.Queue()
+        dead = _DeadProcess()
+        with pytest.raises(CampaignError, match="died without reporting"):
+            _receive(silent, [_LiveProcess(), dead], timeout=60.0,
+                     pending=lambda: [dead])
+
+    def test_receive_tolerates_dead_but_reported_workers(self):
+        """A worker that exited AFTER reporting is not owed anything."""
+        import queue
+
+        from repro.core.parallel import _receive
+
+        ready = queue.Queue()
+        ready.put(("done", 0, "report"))
+        message = _receive(ready, [_LiveProcess(), _DeadProcess()],
+                           timeout=60.0, pending=lambda: [_LiveProcess()])
+        assert message == ("done", 0, "report")
 
 
 class TestRejectedGenerationAccounting:

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.dsg import DSG, DSGConfig, GenerationConfig, SchemaGraph
+from repro.dsg import GenerationConfig
 from repro.dsg.query_gen import RandomWalkQueryGenerator
 from repro.errors import GenerationError
 from repro.plan import JoinType

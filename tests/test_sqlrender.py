@@ -22,7 +22,6 @@ from repro.expr.ast import (
     FunctionCall,
     InList,
     IsNull,
-    Literal,
     Not,
     Or,
     column,

@@ -13,11 +13,9 @@ from repro.sqlvalue import (
     bigint,
     cast_for_domain,
     cast_to,
-    char,
     comparison_domain,
     decimal,
     double,
-    float_type,
     integer,
     string_to_bigint,
     string_to_double,

@@ -1,8 +1,6 @@
 """Tests for three-valued logic comparisons and hash-key normalization."""
 
 from decimal import Decimal
-
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sqlvalue import (

@@ -1,8 +1,6 @@
 """Tests for NULL semantics, canonical numerics and row normalization."""
 
 from decimal import Decimal
-
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.sqlvalue import (

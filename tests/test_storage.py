@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import CatalogError, ExecutionError
 from repro.sqlvalue import NULL
-from repro.storage import Database, HashIndex, OrderedIndex, TableData
+from repro.storage import HashIndex, OrderedIndex, TableData
 
 
 class TestTableData:

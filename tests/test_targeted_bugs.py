@@ -6,8 +6,6 @@ corrupted foreign key) and checks that the seeded fault produces exactly the
 symptom the paper describes, while the bug-free reference engine stays correct.
 """
 
-import pytest
-
 from repro.catalog import Column, DatabaseSchema, ForeignKey, TableSchema
 from repro.engine import Engine, SIM_MARIADB, SIM_MYSQL, SIM_TIDB, SIM_XDB, reference_engine
 from repro.expr import ColumnRef, column
