@@ -20,20 +20,27 @@ True
 
 from repro.backends import (
     BackendAdapter,
+    DuckDBBackend,
     SQLDialectSpec,
     SQLITE_DIALECT,
     SQLRenderer,
     SQLiteBackend,
     SimulatedBackend,
+    backend_from_name,
+    register_backend,
 )
 from repro.core import (
+    AdaptiveBudgetPolicy,
+    BudgetPolicy,
     BugIncident,
     BugLog,
     CampaignConfig,
     CampaignResult,
     DifferentialOracle,
     DifferentialTester,
+    ExecutionPipeline,
     ParallelCampaignConfig,
+    PipelineConfig,
     ParallelCampaignResult,
     ParallelSearchConfig,
     ParallelSearchSimulator,
@@ -68,7 +75,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_DIALECTS",
+    "AdaptiveBudgetPolicy",
     "BackendAdapter",
+    "BudgetPolicy",
     "BugIncident",
     "BugLog",
     "CampaignConfig",
@@ -77,13 +86,16 @@ __all__ = [
     "DSGConfig",
     "DifferentialOracle",
     "DifferentialTester",
+    "DuckDBBackend",
     "Engine",
+    "ExecutionPipeline",
     "GroundTruthOracle",
     "HintSet",
     "JoinType",
     "KQE",
     "KQEConfig",
     "ParallelCampaignConfig",
+    "PipelineConfig",
     "ParallelCampaignResult",
     "ParallelSearchConfig",
     "ParallelSearchSimulator",
@@ -102,8 +114,10 @@ __all__ = [
     "TQS",
     "TQSConfig",
     "WideTable",
+    "backend_from_name",
     "dialect_by_name",
     "reference_engine",
+    "register_backend",
     "run_ablation",
     "run_baseline_campaign",
     "run_differential_campaign",

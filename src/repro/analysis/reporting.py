@@ -140,8 +140,10 @@ def render_worker_pool(outcome) -> str:
     headers = ["worker", "queries", "rejected", "isomorphic sets", "bugs",
                "bug types"]
     transport = getattr(outcome, "transport", "local")
+    budget_policy = getattr(outcome, "budget_policy", "even")
     title = (f"Parallel campaign: {outcome.workers} workers "
-             f"({transport} transport), {outcome.sync_rounds} sync rounds, "
+             f"({transport} transport, {budget_policy} budgets), "
+             f"{outcome.sync_rounds} sync rounds, "
              f"{outcome.elapsed_seconds:.1f}s wall clock")
     return render_table(headers, rows, title=title)
 
@@ -198,11 +200,16 @@ def parallel_result_to_dict(outcome, campaign: Optional[Dict] = None) -> Dict:
                     stats.broadcast_entries_received if stats else 0,
                 "broadcast_entries_suppressed":
                     stats.broadcast_entries_suppressed if stats else 0,
+                # The shard's per-hour budget series: the adaptive policy's
+                # decisions hour by hour (a flat line under the even policy).
+                "hourly_budgets":
+                    list(stats.hourly_budgets) if stats else [],
             }
         )
     summary = {
         "workers": outcome.workers,
         "sync_rounds": outcome.sync_rounds,
+        "budget_policy": getattr(outcome, "budget_policy", "even"),
         "central_index_size": outcome.central_index_size,
         "central_distinct_labels": outcome.central_distinct_labels,
         "broadcast_entries_sent": getattr(outcome, "broadcast_entries_sent", 0),

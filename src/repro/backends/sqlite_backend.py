@@ -20,6 +20,10 @@ Integers outside the signed 64-bit range (e.g. the ``bigint unsigned`` boundary
 ``2**64 - 1``) cannot be stored losslessly; they raise
 :class:`~repro.errors.BackendError` instead of being silently rounded through a
 double, because a silent rounding would later surface as a fake logic bug.
+
+The deploy/execute machinery shared with other rendered-SQL adapters lives in
+:class:`~repro.backends.sqlbase.RenderedSQLBackend`; this module adds only the
+sqlite3 connection lifecycle and driver hooks.
 """
 
 from __future__ import annotations
@@ -28,14 +32,10 @@ import sqlite3
 from decimal import Decimal
 from typing import Any, List, Optional
 
-from repro.backends.base import BackendAdapter, BackendExecution
+from repro.backends.sqlbase import RenderedSQLBackend
 from repro.backends.sqlrender import SQLITE_DIALECT, SQLRenderer
-from repro.catalog.schema import DatabaseSchema
-from repro.engine.resultset import ResultSet
 from repro.errors import BackendError
-from repro.plan.logical import QuerySpec
-from repro.sqlvalue.values import is_null, null_if_none
-from repro.storage.database import Database
+from repro.sqlvalue.values import is_null
 
 _INT64_MIN = -(2 ** 63)
 _INT64_MAX = 2 ** 63 - 1
@@ -50,7 +50,7 @@ def to_sqlite_value(value: Any, context: str = "") -> Any:
     if isinstance(value, int):
         if not _INT64_MIN <= value <= _INT64_MAX:
             raise BackendError(
-                f"integer {value} exceeds SQLite's 64-bit range{context}"
+                f"integer {value} exceeds the signed 64-bit range{context}"
             )
         return value
     if isinstance(value, Decimal):
@@ -62,17 +62,18 @@ def to_sqlite_value(value: Any, context: str = "") -> Any:
     raise BackendError(f"cannot bind value {value!r} of type {type(value).__name__}{context}")
 
 
-class SQLiteBackend(BackendAdapter):
+class SQLiteBackend(RenderedSQLBackend):
     """Backend adapter executing rendered SQL on a real SQLite connection."""
 
     name = "SQLite"
+    driver_errors = (sqlite3.Error, OverflowError)
+    explain_prefix = "EXPLAIN QUERY PLAN"
 
     def __init__(self, path: str = ":memory:",
                  renderer: Optional[SQLRenderer] = None) -> None:
+        super().__init__(renderer or SQLRenderer(SQLITE_DIALECT))
         self.path = path
-        self.renderer = renderer or SQLRenderer(SQLITE_DIALECT)
         self._connection: Optional[sqlite3.Connection] = None
-        self.statements_executed = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -87,7 +88,13 @@ class SQLiteBackend(BackendAdapter):
         if self._connection is not None:
             return
         try:
-            self._connection = sqlite3.connect(self.path)
+            # check_same_thread=False: the execution pipeline deploys on the
+            # campaign thread but executes batches on one dedicated target
+            # thread.  Access is still strictly serial (one batch in flight,
+            # supports_concurrent_cursors stays False); only the *identity* of
+            # the accessing thread changes.
+            self._connection = sqlite3.connect(self.path,
+                                               check_same_thread=False)
         except sqlite3.Error as error:  # pragma: no cover - env dependent
             raise BackendError(f"cannot open SQLite database {self.path!r}: {error}")
 
@@ -96,83 +103,16 @@ class SQLiteBackend(BackendAdapter):
             self._connection.close()
             self._connection = None
 
-    # ------------------------------------------------------------- loading
+    # ---------------------------------------------------------- driver hooks
 
-    def load_schema(self, schema: DatabaseSchema) -> None:
-        cursor = self.connection.cursor()
-        for table in schema.tables:
-            try:
-                cursor.execute(self.renderer.create_table(table))
-                for statement in self.renderer.create_indexes(table):
-                    cursor.execute(statement)
-            except sqlite3.Error as error:
-                raise BackendError(
-                    f"cannot create table {table.name!r} on SQLite: {error}"
-                ) from error
-            self.statements_executed += 1
+    def _run(self, sql: str) -> sqlite3.Cursor:
+        return self.connection.execute(sql)
+
+    def _run_many(self, sql: str, rows: List[tuple]) -> None:
+        self.connection.executemany(sql, rows)
+
+    def _commit(self) -> None:
         self.connection.commit()
-
-    def load_data(self, database: Database) -> None:
-        cursor = self.connection.cursor()
-        for name in database.table_names:
-            table = database.table_schema(name)
-            sql, columns = self.renderer.insert_statement(table)
-            rows = [
-                tuple(
-                    to_sqlite_value(value, f" (table {name!r})")
-                    for value in stored
-                )
-                for stored in database.table(name).rows_as_tuples(columns)
-            ]
-            if not rows:
-                continue
-            try:
-                cursor.executemany(sql, rows)
-            except (sqlite3.Error, OverflowError) as error:
-                raise BackendError(
-                    f"cannot load {len(rows)} rows into {name!r}: {error}"
-                ) from error
-            self.statements_executed += 1
-        self.connection.commit()
-
-    # ------------------------------------------------------------ execution
-
-    def execute_sql(self, sql: str) -> ResultSet:
-        """Run raw SQL text and wrap the cursor output as a :class:`ResultSet`."""
-        try:
-            cursor = self.connection.execute(sql)
-        except sqlite3.Error as error:
-            raise BackendError(f"SQLite rejected query: {error}\n{sql}") from error
-        self.statements_executed += 1
-        columns = [item[0] for item in cursor.description or ()]
-        rows = [self._from_sqlite_row(row) for row in cursor.fetchall()]
-        return ResultSet(columns, rows)
-
-    def execute(self, query: QuerySpec) -> BackendExecution:
-        sql = self.renderer.query(query)
-        result = self.execute_sql(sql)
-        # Use the IR's own output naming so result sets line up with the
-        # reference executor even if the engine mangles duplicate names.
-        names = query.output_columns()
-        if len(names) == len(result.columns):
-            result = ResultSet(names, result.rows)
-        return BackendExecution(result=result, sql=sql)
-
-    def explain(self, query: QuerySpec) -> str:
-        sql = self.renderer.query(query)
-        try:
-            cursor = self.connection.execute(f"EXPLAIN QUERY PLAN {sql}")
-        except sqlite3.Error as error:
-            raise BackendError(f"SQLite rejected query: {error}\n{sql}") from error
-        self.statements_executed += 1
-        lines = [" | ".join(str(v) for v in row) for row in cursor.fetchall()]
-        return "\n".join(lines)
-
-    # ------------------------------------------------------------- helpers
-
-    @staticmethod
-    def _from_sqlite_row(row: Any) -> List[Any]:
-        return [null_if_none(value) for value in row]
 
     @property
     def description(self) -> str:

@@ -181,6 +181,40 @@ MYSQL_DIALECT = SQLDialectSpec(
 )
 """Rendering profile for a future MySQL/MariaDB adapter."""
 
+DUCKDB_DIALECT = SQLDialectSpec(
+    name="duckdb",
+    null_safe_equal="IS NOT DISTINCT FROM",
+    # DuckDB's `/` is float division already (`//` is the integer quotient),
+    # so no CAST-to-REAL workaround: DuckDB's REAL is float32 and casting
+    # through it would shed precision the comparison tolerance does not cover.
+    real_division=False,
+    # DuckDB is strongly typed, unlike SQLite's affinities, so every IR type
+    # maps onto the native type whose comparison semantics match the
+    # reference executor: integers stay 64-bit exact, decimals ride DOUBLE
+    # (the float-tolerant comparison absorbs representation drift, and DOUBLE
+    # sidesteps DECIMAL width errors on noise-corrupted values), and
+    # strings/temporals ride VARCHAR so column-vs-literal comparisons coerce
+    # the way the reference's string domain does.
+    type_overrides={
+        TypeName.TINYINT.value: "BIGINT",
+        TypeName.SMALLINT.value: "BIGINT",
+        TypeName.MEDIUMINT.value: "BIGINT",
+        TypeName.INT.value: "BIGINT",
+        TypeName.BIGINT.value: "BIGINT",
+        TypeName.DECIMAL.value: "DOUBLE",
+        TypeName.FLOAT.value: "DOUBLE",
+        TypeName.DOUBLE.value: "DOUBLE",
+        TypeName.CHAR.value: "VARCHAR",
+        TypeName.VARCHAR.value: "VARCHAR",
+        TypeName.TEXT.value: "VARCHAR",
+        TypeName.BLOB.value: "VARCHAR",
+        TypeName.DATE.value: "VARCHAR",
+        TypeName.DATETIME.value: "VARCHAR",
+        TypeName.BOOLEAN.value: "BIGINT",
+    },
+)
+"""Rendering profile for the DuckDB adapter (import-gated driver)."""
+
 
 class SQLRenderer:
     """Serializes the internal IR into SQL text for one dialect."""

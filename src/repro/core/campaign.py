@@ -19,12 +19,13 @@ deltas — the seam the multi-process parallel runner
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Union
 
 from repro.backends.base import BackendAdapter
 from repro.baselines.base import BaselineTester
 from repro.core.bug_report import BugIncident, BugLog
 from repro.core.differential import DifferentialConfig, DifferentialTester
+from repro.core.execpipe import PipelineConfig
 from repro.core.tqs import TQS, TQSConfig
 from repro.dsg.pipeline import DSG, DSGConfig
 from repro.engine.dialects import DialectProfile
@@ -124,9 +125,13 @@ class HourRecord:
 
 OnHour = Callable[[HourRecord], None]
 
+# The per-hour budget: a constant, or a callable mapping the 1-based hour to
+# that hour's budget — the seam through which adaptive shard budgets flow.
+QueriesPerHour = Union[int, Callable[[int], int]]
+
 
 def run_campaign_loop(tester, result: CampaignResult, hours: int,
-                      queries_per_hour: int,
+                      queries_per_hour: QueriesPerHour,
                       on_hour: Optional[OnHour] = None) -> CampaignResult:
     """Drive any tester through a budgeted campaign, one shared loop.
 
@@ -136,19 +141,32 @@ def run_campaign_loop(tester, result: CampaignResult, hours: int,
     ``explored_isomorphic_sets``, a ``bug_log`` and a ``diversity``
     isomorphic-set counter.  :class:`~repro.core.tqs.TQS`, every
     :class:`~repro.baselines.base.BaselineTester` and
-    :class:`~repro.core.differential.DifferentialTester` all do.
+    :class:`~repro.core.differential.DifferentialTester` all do.  A tester may
+    additionally expose ``flush()``; it is called at every hour boundary so
+    batched execution (the pipelined differential tester) drains before the
+    hour's counters are sampled — which is what keeps pipelined per-hour
+    series identical to serial ones.
+
+    *queries_per_hour* may be a callable of the 1-based hour instead of a
+    constant: the adaptive-budget worker uses that to apply the coordinator's
+    per-round reallocations without forking the loop.
     """
     rejected = 0
     known_labels: Set[str] = set()
     incident_watermark = 0
+    flush = getattr(tester, "flush", None)
     for hour in range(1, hours + 1):
-        for _ in range(queries_per_hour):
+        budget = (queries_per_hour(hour) if callable(queries_per_hour)
+                  else queries_per_hour)
+        for _ in range(budget):
             try:
                 tester.run_iteration()
             except GenerationError:
                 # A failed generation must not abort the campaign, but it must
                 # not vanish either: it burned budget without a query.
                 rejected += 1
+        if flush is not None:
+            flush()
         sample = HourlySample(
             hour=hour,
             queries_generated=tester.queries_generated,
@@ -211,17 +229,27 @@ def build_baseline_tester(baseline: BaselineTester, dialect: DialectProfile,
 
 def build_differential_tester(backend: BackendAdapter, config: CampaignConfig,
                               reference: Optional[Engine] = None,
-                              differential: Optional[DifferentialConfig] = None
+                              differential: Optional[DifferentialConfig] = None,
+                              pipeline: Optional[PipelineConfig] = None
                               ) -> DifferentialTester:
-    """Deploy a DSG database into *backend* and wrap it in a tester."""
+    """Deploy a DSG database into *backend* and wrap it in a tester.
+
+    A failed deploy (schema rejected, data unloadable) closes the adapter
+    before re-raising, so callers that never obtain a tester cannot leak a
+    connection.
+    """
     dsg = DSG(config.dsg_config())
     differential = differential or DifferentialConfig(
         use_kqe=config.use_kqe, seed=config.seed
     )
     reference = reference or reference_engine(dsg.database)
-    backend.deploy(dsg.database)
+    try:
+        backend.deploy(dsg.database)
+    except Exception:
+        backend.close()
+        raise
     return DifferentialTester(dsg, backend, reference=reference,
-                              config=differential)
+                              config=differential, pipeline=pipeline)
 
 
 # ------------------------------------------------------------ campaign kinds
@@ -255,6 +283,7 @@ def run_differential_campaign(backend: BackendAdapter,
                               config: Optional[CampaignConfig] = None,
                               reference: Optional[Engine] = None,
                               differential: Optional[DifferentialConfig] = None,
+                              pipeline: Optional[PipelineConfig] = None,
                               on_hour: Optional[OnHour] = None) -> CampaignResult:
     """Run the TQS generator differentially against a real (or wrapped) backend.
 
@@ -264,17 +293,30 @@ def run_differential_campaign(backend: BackendAdapter,
     normalized-result disagreement is recorded as a bug incident.  The returned
     :class:`CampaignResult` carries the same per-hour series as the simulated
     campaigns, so the analysis/reporting layer works unchanged.
+
+    *pipeline* selects the overlapped execution schedule: with a
+    ``batch_size`` above 1, target and reference executions run concurrently
+    (see :mod:`repro.core.execpipe`) with bit-identical verdicts to the
+    default serial path.
     """
     config = config or CampaignConfig()
-    tester = build_differential_tester(backend, config, reference=reference,
-                                       differential=differential)
-    result = CampaignResult(tool="TQS-differential", dbms=backend.name,
-                            dataset=config.dataset)
+    tester: Optional[DifferentialTester] = None
     try:
+        tester = build_differential_tester(backend, config, reference=reference,
+                                           differential=differential,
+                                           pipeline=pipeline)
+        result = CampaignResult(tool="TQS-differential", dbms=backend.name,
+                                dataset=config.dataset)
         return run_campaign_loop(tester, result, config.hours,
                                  config.queries_per_hour, on_hour=on_hour)
     finally:
-        backend.close()
+        # The tester's close() flushes pipeline threads and closes the
+        # adapter; when the build itself failed there is no tester, but the
+        # adapter may still hold a connection (close() is idempotent).
+        if tester is not None:
+            tester.close()
+        else:
+            backend.close()
 
 
 def run_ablation(dialect: DialectProfile, base_config: Optional[CampaignConfig] = None

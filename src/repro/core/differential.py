@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.backends.base import BackendAdapter, BackendExecution
 from repro.core.bug_report import BugIncident, BugLog
+from repro.core.execpipe import ExecutionPipeline, PipelineConfig, QueryJob
 from repro.dsg.pipeline import DSG
 from repro.engine.engine import Engine
 from repro.engine.resultset import ResultSet
@@ -103,8 +104,14 @@ class DifferentialOracle:
         self.comparisons = 0
         self.skipped = 0
 
-    def check(self, query: QuerySpec, label: str = "") -> DifferentialOutcome:
-        """Run *query* on both sides and record any mismatch."""
+    def precheck(self, query: QuerySpec,
+                 label: str = "") -> Optional[DifferentialOutcome]:
+        """The pre-execution skip decision; a skip outcome or None.
+
+        Called before any engine touches the query, in submission order, by
+        both the serial path and the batched pipeline — so skip accounting is
+        identical between them.
+        """
         if query.limit is not None:
             # LIMIT without a total order picks an engine-chosen subset; two
             # correct engines may legitimately disagree, so it is incomparable.
@@ -113,19 +120,25 @@ class DifferentialOracle:
                 query=query, canonical_label=label, sql="", matched=True,
                 skipped=True, skip_reason="LIMIT result is engine-defined",
             )
-        try:
-            execution: BackendExecution = self.backend.execute(query)
-        except (RenderError, BackendError) as error:
-            # A query the dialect cannot express (RenderError) or the engine
-            # rejects at runtime (BackendError) is not a *logic* bug; skipping
-            # it keeps one unsupported construct from aborting a long campaign
-            # and discarding every result gathered so far.
+        return None
+
+    def judge(self, query: QuerySpec, label: str,
+              execution: BackendExecution,
+              reference_result: Optional[ResultSet]) -> DifferentialOutcome:
+        """Turn one (execution, reference result) pair into a verdict.
+
+        An execution that failed (``execution.error``) is skipped, not filed:
+        a query the dialect cannot express (RenderError) or the engine rejects
+        at runtime (BackendError) is not a *logic* bug, and skipping keeps one
+        unsupported construct from aborting a long campaign.
+        """
+        if execution.error is not None:
             self.skipped += 1
             return DifferentialOutcome(
                 query=query, canonical_label=label, sql="", matched=True,
-                skipped=True, skip_reason=str(error),
+                skipped=True, skip_reason=str(execution.error),
             )
-        reference_result = self.reference.execute(query)
+        assert reference_result is not None
         self.comparisons += 1
         matched = result_sets_match(
             reference_result, execution.result,
@@ -155,6 +168,24 @@ class DifferentialOracle:
             outcome.incident = incident
         return outcome
 
+    def check(self, query: QuerySpec, label: str = "") -> DifferentialOutcome:
+        """Run *query* on both sides and record any mismatch (serial path).
+
+        The batched pipeline runs the same three stages — :meth:`precheck`,
+        execution, :meth:`judge` — with the two executions overlapped; this
+        method is their strictly serial composition, so the two paths cannot
+        drift apart.
+        """
+        skip = self.precheck(query, label)
+        if skip is not None:
+            return skip
+        try:
+            execution: BackendExecution = self.backend.execute(query)
+        except (RenderError, BackendError) as error:
+            return self.judge(query, label, BackendExecution(error=error), None)
+        return self.judge(query, label, execution,
+                          self.reference.execute(query))
+
 
 class DifferentialTester:
     """The TQS loop re-targeted at a backend: generate, render, execute, compare.
@@ -163,17 +194,32 @@ class DifferentialTester:
     diversity accounting) but replaces the wide-table ground-truth verification
     with the differential oracle.  One instance drives one backend over one
     DSG-generated database.
+
+    With a :class:`~repro.core.execpipe.PipelineConfig` whose ``batch_size``
+    exceeds 1, generated queries are buffered and executed through the
+    overlapped :class:`~repro.core.execpipe.ExecutionPipeline` — target and
+    reference concurrently — instead of one at a time.  Generation order, KQE
+    registration and verdicts are bit-identical to the serial path; only the
+    wall clock changes.  Callers driving a batched tester directly must call
+    :meth:`flush` before reading counters (the shared campaign loop does so at
+    every hour boundary).
     """
 
     def __init__(self, dsg: DSG, backend: BackendAdapter,
                  reference: Optional[Engine] = None,
-                 config: Optional[DifferentialConfig] = None) -> None:
+                 config: Optional[DifferentialConfig] = None,
+                 pipeline: Optional[PipelineConfig] = None) -> None:
         self.dsg = dsg
         self.backend = backend
         self.config = config or DifferentialConfig()
         self.reference = reference or Engine(dsg.database)
         self.oracle = DifferentialOracle(
             self.reference, backend, config=self.config
+        )
+        self.pipeline_config = pipeline or PipelineConfig()
+        self.pipeline = (
+            ExecutionPipeline(self.oracle, self.pipeline_config)
+            if self.pipeline_config.batch_size > 1 else None
         )
         self.kqe = (
             KQE(dsg.ndb.schema, rng=random.Random(self.config.seed + 1))
@@ -183,6 +229,8 @@ class DifferentialTester:
         self.diversity = IsomorphicSetCounter()
         self.queries_generated = 0
         self.outcomes: List[DifferentialOutcome] = []
+        self._pending: List[QueryJob] = []
+        self._closed = False
 
     @property
     def bug_log(self) -> BugLog:
@@ -209,17 +257,52 @@ class DifferentialTester:
                 last_error = error
         raise GenerationError(f"query generation kept failing: {last_error}")
 
-    def run_iteration(self) -> DifferentialOutcome:
-        """Generate one query and compare the backend against the reference."""
+    def run_iteration(self) -> Optional[DifferentialOutcome]:
+        """Generate one query and compare the backend against the reference.
+
+        On the serial path (batch size 1) the comparison happens immediately
+        and the outcome is returned.  On the batched path the query is
+        buffered — executing as soon as a full batch accumulates — and the
+        return value is None; outcomes land in :attr:`outcomes` (in generation
+        order) when the batch flushes.
+        """
         query = self._generate()
         self.queries_generated += 1
         label = self.graph_builder.build(query).canonical_label()
         self.diversity.add_label(label)
         if self.kqe is not None:
             self.kqe.register(query)
-        outcome = self.oracle.check(query, label)
-        self.outcomes.append(outcome)
-        return outcome
+        if self.pipeline is None:
+            outcome = self.oracle.check(query, label)
+            self.outcomes.append(outcome)
+            return outcome
+        self._pending.append(QueryJob(query=query, label=label))
+        if len(self._pending) >= self.pipeline_config.batch_size:
+            self.flush()
+        return None
+
+    def flush(self) -> None:
+        """Execute and judge any buffered queries (no-op on the serial path)."""
+        if self.pipeline is None or not self._pending:
+            return
+        jobs, self._pending = self._pending, []
+        self.outcomes.extend(self.pipeline.run_batch(jobs))
+
+    def close(self) -> None:
+        """Flush pending work, stop pipeline threads, close the backend.
+
+        Safe to call twice; every campaign/worker error path funnels through
+        here so adapters are never leaked.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.flush()
+        finally:
+            if self.pipeline is not None:
+                self.pipeline.close()
+            self.backend.close()
 
     def run(self, iterations: int) -> BugLog:
         """Run several iterations, skipping failed generations."""
@@ -228,4 +311,5 @@ class DifferentialTester:
                 self.run_iteration()
             except GenerationError:
                 continue
+        self.flush()
         return self.bug_log

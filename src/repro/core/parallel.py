@@ -50,6 +50,12 @@ import traceback
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.budget import (
+    BudgetPolicy,
+    budget_policy_from_name,
+    registered_budget_policies,
+    split_budget,
+)
 from repro.core.bug_report import BugIncident, BugLog
 from repro.core.campaign import (
     CampaignConfig,
@@ -62,6 +68,7 @@ from repro.core.campaign import (
     run_campaign_loop,
     tqs_variant_name,
 )
+from repro.core.execpipe import PipelineConfig
 from repro.distributed.coordinator import CentralCoordinator
 from repro.distributed.protocol import IndexEntry, SyncBroadcast
 from repro.dsg.pipeline import DSG, DSGConfig
@@ -195,17 +202,15 @@ def shard_campaign_configs(config: CampaignConfig, workers: int) -> List[Campaig
         # A 1-worker pool must be bitwise-identical to the serial runner on
         # the same config, so the campaign seed passes through unchanged.
         return [replace(config)]
-    base, remainder = divmod(config.queries_per_hour, workers)
-    shards = []
-    for shard_id in range(workers):
-        shards.append(
-            replace(
-                config,
-                queries_per_hour=base + (1 if shard_id < remainder else 0),
-                seed=derive_worker_seed(config.seed, shard_id),
-            )
+    budgets = split_budget(config.queries_per_hour, workers)
+    return [
+        replace(
+            config,
+            queries_per_hour=budgets[shard_id],
+            seed=derive_worker_seed(config.seed, shard_id),
         )
-    return shards
+        for shard_id in range(workers)
+    ]
 
 
 @dataclass(frozen=True)
@@ -222,6 +227,9 @@ class ShardSpec:
     dialect: str = "SimMySQL"
     baseline: str = ""          # baseline name when kind == "baseline"
     backend: str = "sqlite"     # backend name when kind == "differential"
+    # Execution-pipeline batch size for differential shards: above 1, each
+    # worker overlaps target and reference execution (repro.core.execpipe).
+    batch_size: int = 1
 
 
 @dataclass
@@ -244,6 +252,15 @@ class ParallelCampaignConfig:
     # novelty pruning).  Pruned and unpruned runs are each deterministic, but
     # differ from one another; the switch is campaign configuration.
     prune_broadcasts: bool = True
+    # How the per-hour query budget is spread over the shards: "even" keeps
+    # the historical fixed split; "adaptive" rebalances budget at every sync
+    # round toward shards with higher novel-label discovery rates
+    # (repro.core.budget).  Either way every hour's total budget is conserved
+    # and runs are deterministic for a fixed seed.
+    budget_policy: str = "even"
+    # Execution-pipeline batch size inside each differential worker; 1 keeps
+    # the strictly serial per-query path.
+    pipeline_batch_size: int = 1
 
 
 @dataclass
@@ -258,6 +275,9 @@ class WorkerReport:
     hourly_new_labels: List[List[str]]
     hourly_incidents: List[List[BugIncident]]
     unsynced_entries: List[IndexEntry] = field(default_factory=list)
+    # The per-hour generation budget this worker actually ran each hour —
+    # constant under the even policy, varying under adaptive rebalancing.
+    hourly_budgets: List[int] = field(default_factory=list)
     # Sync-payload accounting: entries this worker shipped to the coordinator
     # (sync batches plus the unsynced tail above), entries it received in
     # broadcasts, and entries the coordinator's novelty pruning withheld from
@@ -275,6 +295,9 @@ class ShardSyncStats:
     entries_shipped: int
     broadcast_entries_received: int
     broadcast_entries_suppressed: int
+    # Per-hour budget series for this shard (the adaptive policy's decisions,
+    # or a constant line under the even policy).
+    hourly_budgets: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -292,6 +315,7 @@ class ParallelCampaignResult:
     broadcast_entries_sent: int = 0
     broadcast_entries_suppressed: int = 0
     sync_stats: List[ShardSyncStats] = field(default_factory=list)
+    budget_policy: str = "even"
 
     @property
     def queries_per_second(self) -> float:
@@ -331,7 +355,10 @@ def _build_shard_tester(spec: ShardSpec):
         from repro.backends import backend_from_name
 
         backend = backend_from_name(spec.backend)
-        tester = build_differential_tester(backend, spec.config)
+        pipeline = (PipelineConfig(batch_size=spec.batch_size)
+                    if spec.batch_size > 1 else None)
+        tester = build_differential_tester(backend, spec.config,
+                                           pipeline=pipeline)
         return tester, "TQS-differential", backend.name
     raise CampaignError(f"unknown shard kind {spec.kind!r}")
 
@@ -456,6 +483,16 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
     shipped = [0]
     received = [0]
     suppressed = [0]
+    # The live per-hour budget: starts at the shard's static allocation and is
+    # overwritten by the coordinator's rebalancing decisions (when a budget
+    # policy is active) at sync rounds.  ``hourly_budgets`` records what each
+    # hour actually ran with, for the campaign report.
+    current_budget = [spec.config.queries_per_hour]
+    hourly_budgets: List[int] = []
+
+    def budget_for_hour(hour: int) -> int:
+        hourly_budgets.append(current_budget[0])
+        return current_budget[0]
 
     def on_hour(record: HourRecord) -> None:
         records.append(record)
@@ -473,6 +510,8 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
         shipped[0] += len(entries)
         received[0] += len(broadcast.entries)
         suppressed[0] += broadcast.suppressed
+        if broadcast.next_budget is not None:
+            current_budget[0] = broadcast.next_budget
         if index is not None:
             for vector, label in broadcast.entries:
                 index.add_embedding(np.asarray(vector, dtype=np.float64),
@@ -482,10 +521,14 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
     result = CampaignResult(tool="", dbms="", dataset=spec.config.dataset)
     try:
         run_campaign_loop(tester, result, spec.config.hours,
-                          spec.config.queries_per_hour, on_hour=on_hour)
+                          budget_for_hour, on_hour=on_hour)
     finally:
-        if spec.kind == "differential":
-            getattr(tester, "backend").close()
+        # Differential testers own an adapter (and possibly pipeline
+        # threads); close() is idempotent and runs on every exit path so a
+        # failing shard cannot leak its connection.
+        closer = getattr(tester, "close", None)
+        if closer is not None:
+            closer()
     unsynced: List[IndexEntry] = []
     if index is not None:
         unsynced = [
@@ -504,6 +547,7 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
         entries_shipped=shipped[0] + len(unsynced),
         broadcast_entries_received=received[0],
         broadcast_entries_suppressed=suppressed[0],
+        hourly_budgets=hourly_budgets,
     )
 
 
@@ -670,7 +714,8 @@ def _receive(result_queue, processes, timeout: float, pending=None):
 def finalize_parallel_result(reports: Sequence[WorkerReport],
                              coordinator: CentralCoordinator,
                              workers: int, sync_rounds: int,
-                             elapsed_seconds: float, transport: str
+                             elapsed_seconds: float, transport: str,
+                             budget_policy: str = "even"
                              ) -> ParallelCampaignResult:
     """Merge worker reports and coordinator state into the campaign outcome.
 
@@ -685,6 +730,7 @@ def finalize_parallel_result(reports: Sequence[WorkerReport],
             entries_shipped=report.entries_shipped,
             broadcast_entries_received=report.broadcast_entries_received,
             broadcast_entries_suppressed=report.broadcast_entries_suppressed,
+            hourly_budgets=tuple(report.hourly_budgets),
         )
         for report in ordered
     ]
@@ -700,6 +746,7 @@ def finalize_parallel_result(reports: Sequence[WorkerReport],
         broadcast_entries_sent=coordinator.broadcast_entries_sent,
         broadcast_entries_suppressed=coordinator.broadcast_entries_suppressed,
         sync_stats=sync_stats,
+        budget_policy=budget_policy,
     )
 
 
@@ -732,13 +779,18 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
         raise CampaignError(
             f"unknown transport {parallel.transport!r}; expected 'local' or 'tcp'"
         )
+    # Fail fast on a bad policy name, before any process is spawned; the
+    # policy object itself lives with the coordinator.
+    budget_policy = budget_policy_from_name(parallel.budget_policy)
+    initial_budgets = {spec.shard_id: spec.config.queries_per_hour
+                       for spec in shards}
     sync_hours = sync_schedule(hours, parallel.sync_interval)
     context = (multiprocessing.get_context(parallel.start_method)
                if parallel.start_method else multiprocessing.get_context())
     heartbeat_interval = max(1.0, min(15.0, parallel.worker_timeout / 4))
     if parallel.transport == "tcp":
         return _run_shards_over_tcp(shards, parallel, sync_hours, context,
-                                    heartbeat_interval)
+                                    heartbeat_interval, budget_policy)
     result_queue = context.Queue()
     broadcast_queues = {spec.shard_id: context.Queue() for spec in shards}
     processes = [
@@ -751,7 +803,9 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
         )
         for spec in shards
     ]
-    coordinator = CentralCoordinator(prune=parallel.prune_broadcasts)
+    coordinator = CentralCoordinator(prune=parallel.prune_broadcasts,
+                                     budget_policy=budget_policy,
+                                     initial_budgets=initial_budgets)
     procs_by_shard = {spec.shard_id: process
                       for spec, process in zip(shards, processes)}
     reports: Dict[int, WorkerReport] = {}
@@ -810,13 +864,15 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
                                     workers=len(shards),
                                     sync_rounds=len(sync_hours),
                                     elapsed_seconds=elapsed,
-                                    transport="local")
+                                    transport="local",
+                                    budget_policy=parallel.budget_policy)
 
 
 def _run_shards_over_tcp(shards: Sequence[ShardSpec],
                          parallel: ParallelCampaignConfig,
                          sync_hours: Tuple[int, ...], context,
-                         heartbeat_interval: float) -> ParallelCampaignResult:
+                         heartbeat_interval: float,
+                         budget_policy: BudgetPolicy) -> ParallelCampaignResult:
     """The ``transport="tcp"`` pool: an in-process IndexServer + TCP workers.
 
     Exercises the full distributed stack (framing, registration, barrier
@@ -829,7 +885,8 @@ def _run_shards_over_tcp(shards: Sequence[ShardSpec],
     server = IndexServer(shards=shards, sync_hours=sync_hours,
                          host=parallel.tcp_host, port=parallel.tcp_port,
                          prune=parallel.prune_broadcasts,
-                         round_timeout=parallel.worker_timeout)
+                         round_timeout=parallel.worker_timeout,
+                         budget_policy=budget_policy)
     server.start()
     start = time.perf_counter()
     processes = [
@@ -870,7 +927,8 @@ def _run_shards_over_tcp(shards: Sequence[ShardSpec],
     return finalize_parallel_result(list(server.reports.values()),
                                     server.coordinator, workers=len(shards),
                                     sync_rounds=len(sync_hours),
-                                    elapsed_seconds=elapsed, transport="tcp")
+                                    elapsed_seconds=elapsed, transport="tcp",
+                                    budget_policy=parallel.budget_policy)
 
 
 # --------------------------------------------------------- campaign wrappers
@@ -878,7 +936,8 @@ def _run_shards_over_tcp(shards: Sequence[ShardSpec],
 
 def build_shard_specs(kind: str, config: CampaignConfig, workers: int,
                       dialect: str = "SimMySQL", baseline: str = "",
-                      backend: str = "sqlite") -> List[ShardSpec]:
+                      backend: str = "sqlite",
+                      batch_size: int = 1) -> List[ShardSpec]:
     """Split one campaign into per-worker :class:`ShardSpec` assignments.
 
     The single source of truth for shard construction: the in-process
@@ -895,7 +954,8 @@ def build_shard_specs(kind: str, config: CampaignConfig, workers: int,
         raise CampaignError("baseline campaigns need a baseline name")
     return [
         ShardSpec(shard_id=shard_id, kind=kind, config=shard_config,
-                  dialect=dialect, baseline=baseline, backend=backend)
+                  dialect=dialect, baseline=baseline, backend=backend,
+                  batch_size=batch_size)
         for shard_id, shard_config in enumerate(
             shard_campaign_configs(config, workers))
     ]
@@ -937,7 +997,8 @@ def run_parallel_differential_campaign(backend_name: str,
     config = config or CampaignConfig()
     parallel = parallel or ParallelCampaignConfig()
     shards = build_shard_specs("differential", config, parallel.workers,
-                               backend=backend_name)
+                               backend=backend_name,
+                               batch_size=parallel.pipeline_batch_size)
     return run_parallel_shards(shards, parallel)
 
 
@@ -991,6 +1052,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="disable novelty pruning: rebroadcast every "
                              "other worker's entries, not just label-novel "
                              "ones")
+    parser.add_argument("--budget-policy", default="even",
+                        choices=registered_budget_policies(),
+                        help="per-hour budget split across shards: 'even' "
+                             "(fixed) or 'adaptive' (rebalanced toward "
+                             "shards discovering novel structures faster)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="execution-pipeline batch size inside each "
+                             "differential worker; >1 overlaps target and "
+                             "reference execution (default: 1)")
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
@@ -1006,6 +1076,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         worker_timeout=args.worker_timeout,
         transport=args.transport,
         prune_broadcasts=not args.no_prune,
+        budget_policy=args.budget_policy,
+        pipeline_batch_size=args.batch_size,
     )
     if args.kind == "tqs":
         outcome = run_parallel_tqs_campaign(dialect_by_name(args.dialect),
@@ -1033,7 +1105,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(outcome.merged.bug_log.summary())
     print(f"{final.queries_generated} queries in {outcome.elapsed_seconds:.1f}s "
           f"({outcome.queries_per_second:.1f} q/s) across {outcome.workers} "
-          f"workers over {outcome.transport} transport, "
+          f"workers over {outcome.transport} transport "
+          f"({outcome.budget_policy} budgets), "
           f"{outcome.sync_rounds} sync rounds, central index: "
           f"{outcome.central_index_size} entries / "
           f"{outcome.central_distinct_labels} distinct structures, "

@@ -26,6 +26,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.budget import budget_policy_from_name
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import (
     ParallelCampaignConfig,
@@ -99,6 +100,20 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable novelty pruning (rebroadcast every entry)",
     )
+    parser.add_argument(
+        "--budget-policy",
+        default="even",
+        help="per-hour budget split across shards: 'even' (fixed) or "
+        "'adaptive' (rebalanced toward shards discovering novel structures "
+        "faster; default: even)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="execution-pipeline batch size inside each differential worker; "
+        ">1 overlaps target and reference execution (default: 1)",
+    )
 
 
 def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
@@ -126,6 +141,8 @@ def _campaign_echo(args: argparse.Namespace) -> Dict[str, Any]:
         "baseline": args.baseline,
         "backend": args.backend,
         "prune": not args.no_prune,
+        "budget_policy": args.budget_policy,
+        "batch_size": args.batch_size,
     }
 
 
@@ -145,6 +162,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dialect=args.dialect,
         baseline=args.baseline,
         backend=args.backend,
+        batch_size=args.batch_size,
     )
     server = IndexServer(
         shards=shards,
@@ -153,6 +171,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         prune=not args.no_prune,
         round_timeout=args.round_timeout,
+        budget_policy=budget_policy_from_name(args.budget_policy),
     )
     server.start()
     print(
@@ -177,6 +196,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             sync_rounds=len(server.sync_hours),
             elapsed_seconds=elapsed,
             transport="tcp",
+            budget_policy=args.budget_policy,
         )
     finally:
         server.stop()
@@ -239,6 +259,7 @@ def _cmd_verify_local(args: argparse.Namespace) -> int:
         dialect=campaign["dialect"],
         baseline=campaign["baseline"],
         backend=campaign["backend"],
+        batch_size=campaign.get("batch_size", 1),
     )
     outcome = run_parallel_shards(
         shards,
@@ -247,6 +268,8 @@ def _cmd_verify_local(args: argparse.Namespace) -> int:
             sync_interval=campaign["sync_interval"],
             worker_timeout=args.worker_timeout,
             prune_broadcasts=campaign["prune"],
+            budget_policy=campaign.get("budget_policy", "even"),
+            pipeline_batch_size=campaign.get("batch_size", 1),
         ),
     )
     local = parallel_result_to_dict(outcome, campaign=campaign)

@@ -21,22 +21,39 @@ lives in the campaign configuration, not in transport flags.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.core.budget import BudgetPolicy
 from repro.distributed.protocol import IndexEntry, SyncBroadcast
 from repro.kqe.graph_index import GraphIndex
 
 
 class CentralCoordinator:
-    """Owns the central graph index and the per-worker novelty bookkeeping."""
+    """Owns the central graph index and the per-worker novelty bookkeeping.
 
-    def __init__(self, prune: bool = True) -> None:
+    When given a :class:`~repro.core.budget.BudgetPolicy` plus the shards'
+    initial per-hour budgets, the coordinator also decides budget reallocation
+    at every round: each worker's *novel-label count* (labels it contributed
+    that the central index had never seen, credited in sorted shard order) is
+    fed to the policy and the resulting allocation rides home inside the
+    round's broadcasts.  Decisions are functions of round content only, never
+    of arrival timing, so budgeted campaigns stay deterministic.
+    """
+
+    def __init__(
+        self,
+        prune: bool = True,
+        budget_policy: Optional[BudgetPolicy] = None,
+        initial_budgets: Optional[Mapping[int, int]] = None,
+    ) -> None:
         self.index = GraphIndex()
         self.prune = prune
         self.broadcast_entries_sent = 0
         self.broadcast_entries_suppressed = 0
+        self.budget_policy = budget_policy
+        self.budgets: Dict[int, int] = dict(initial_budgets or {})
         self._known: Dict[int, Set[str]] = {}
 
     def known_labels(self, shard_id: int) -> Set[str]:
@@ -65,11 +82,22 @@ class CentralCoordinator:
         duplicates are suppressed.
         """
         order = sorted(batches)
+        novel_counts: Dict[int, int] = {}
         for shard_id in order:
-            self.absorb(batches[shard_id])
             known = self.known_labels(shard_id)
-            for _, label in batches[shard_id]:
+            novel = 0
+            for vector, label in batches[shard_id]:
+                # Novelty is checked against the index's own O(1) label
+                # bookkeeping *before* each insertion, so within-batch
+                # duplicates count once and no parallel label set is kept.
+                if not self.index.contains_label(label):
+                    novel += 1
+                self.index.add_embedding(
+                    np.asarray(vector, dtype=np.float64), label
+                )
                 known.add(label)
+            novel_counts[shard_id] = novel
+        next_budgets = self._rebalance(novel_counts)
         broadcasts: Dict[int, SyncBroadcast] = {}
         for shard_id in order:
             known = self.known_labels(shard_id)
@@ -84,7 +112,18 @@ class CentralCoordinator:
                     else:
                         entries.append((vector, label))
                         known.add(label)
-            broadcasts[shard_id] = SyncBroadcast(entries=entries, suppressed=suppressed)
+            broadcasts[shard_id] = SyncBroadcast(
+                entries=entries,
+                suppressed=suppressed,
+                next_budget=next_budgets.get(shard_id),
+            )
             self.broadcast_entries_sent += len(entries)
             self.broadcast_entries_suppressed += suppressed
         return broadcasts
+
+    def _rebalance(self, novel_counts: Dict[int, int]) -> Dict[int, int]:
+        """One round's budget decision; empty when no policy is configured."""
+        if self.budget_policy is None or not self.budgets:
+            return {}
+        self.budgets = self.budget_policy.rebalance(self.budgets, novel_counts)
+        return self.budgets

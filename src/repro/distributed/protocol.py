@@ -63,10 +63,14 @@ class SyncBroadcast:
     ``suppressed`` counts the entries the coordinator's novelty pruning held
     back because their canonical label was already known to this worker — the
     payload reduction the pruning buys, surfaced so it is measurable.
+    ``next_budget`` is the budget policy's per-hour allocation for this worker
+    from the next hour on (None when the campaign runs without budget
+    rebalancing, i.e. keep the current budget).
     """
 
     entries: List[IndexEntry] = field(default_factory=list)
     suppressed: int = 0
+    next_budget: Optional[int] = None
 
 
 def send_frame(sock: socket.socket, message: Any) -> None:

@@ -28,6 +28,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.budget import BudgetPolicy
 from repro.core.parallel import ShardSpec, WorkerReport
 from repro.distributed import protocol
 from repro.distributed.coordinator import CentralCoordinator
@@ -77,12 +78,19 @@ class IndexServer:
         port: int = 0,
         prune: bool = True,
         round_timeout: float = 300.0,
+        budget_policy: Optional[BudgetPolicy] = None,
     ) -> None:
         if not shards:
             raise TransportError("an index server needs at least one shard")
         self.sync_hours: Tuple[int, ...] = tuple(sync_hours)
         self.round_timeout = round_timeout
-        self.coordinator = CentralCoordinator(prune=prune)
+        self.coordinator = CentralCoordinator(
+            prune=prune,
+            budget_policy=budget_policy,
+            initial_budgets={
+                spec.shard_id: spec.config.queries_per_hour for spec in shards
+            },
+        )
         self.reports: Dict[int, WorkerReport] = {}
         self.expected = len(shards)
         self._shards = {spec.shard_id: spec for spec in shards}
