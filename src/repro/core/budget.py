@@ -47,6 +47,28 @@ def split_budget(total: int, shares: int) -> List[int]:
     return [base + (1 if index < remainder else 0) for index in range(shares)]
 
 
+def redistribute_budget(budgets: Mapping[int, int],
+                        evicted: int) -> Dict[int, int]:
+    """Reassign an evicted shard's per-hour budget to the survivors.
+
+    The freed budget is spread over the surviving shards by largest-remainder
+    split in sorted shard order (deterministic), so the campaign's per-hour
+    total is conserved: ``sum(result.values()) == sum(budgets.values())``.
+    Evicting an unknown shard is a no-op; evicting the only shard returns an
+    empty allocation (the budget has nowhere to go).
+    """
+    if evicted not in budgets:
+        return dict(budgets)
+    freed = budgets[evicted]
+    survivors = sorted(sid for sid in budgets if sid != evicted)
+    allocation = {sid: budgets[sid] for sid in survivors}
+    if not survivors:
+        return {}
+    for sid, extra in zip(survivors, split_budget(freed, len(survivors))):
+        allocation[sid] += extra
+    return allocation
+
+
 class BudgetPolicy:
     """How a campaign's per-hour query budget is spread over its shards.
 

@@ -70,7 +70,12 @@ from repro.core.campaign import (
 )
 from repro.core.execpipe import PipelineConfig
 from repro.distributed.coordinator import CentralCoordinator
-from repro.distributed.protocol import IndexEntry, SyncBroadcast
+from repro.distributed.protocol import (
+    IndexEntry,
+    SyncBroadcast,
+    codec_from_name,
+    load_auth_key,
+)
 from repro.dsg.pipeline import DSG, DSGConfig
 from repro.errors import CampaignError, GenerationError
 from repro.kqe.explorer import KQE
@@ -238,8 +243,12 @@ class ParallelCampaignConfig:
 
     workers: int = 4
     sync_interval: int = 1       # simulated hours between index syncs; 0 = never
-    # Seconds without hearing from ANY worker (liveness heartbeats, syncs,
-    # results) before the pool is declared dead and the run fails fast.
+    # Progress deadline, transport-dependent: over "local" queues it is the
+    # seconds without hearing from ANY worker (heartbeats included) before
+    # the pool is declared dead; over "tcp" it feeds the IndexServer's
+    # round_timeout — once a sync round opens, laggards have this long to
+    # deliver their batch (heartbeats prove liveness, not progress).  Size it
+    # well above the slowest shard's per-hour runtime.
     worker_timeout: float = 300.0
     start_method: Optional[str] = None  # None = platform default ("fork" on Linux)
     # "local" runs the sync protocol over multiprocessing queues; "tcp" hosts
@@ -248,6 +257,15 @@ class ParallelCampaignConfig:
     transport: str = "local"
     tcp_host: str = "127.0.0.1"
     tcp_port: int = 0            # 0 = ephemeral port chosen by the OS
+    # Wire encoding of the TCP transport: "json" is protocol v2
+    # (HMAC-authenticated JSON frames, no pickle deserialized from the
+    # socket); "pickle" keeps the legacy trusted-host framing.  Ignored by
+    # the local queue transport.
+    protocol: str = "json"
+    # Shared secret authenticating protocol v2 frames (None = unkeyed tags:
+    # corruption is still caught, but any client can connect — fine on
+    # localhost, not across hosts).
+    auth_key: Optional[bytes] = None
     # Broadcast only label-novel entries to each worker (the coordinator's
     # novelty pruning).  Pruned and unpruned runs are each deterministic, but
     # differ from one another; the switch is campaign configuration.
@@ -450,7 +468,7 @@ def _make_worker_transport(transport_spec: Tuple) -> SyncTransport:
 
     *transport_spec* must pickle across the process boundary, so it is a plain
     tagged tuple: ``("local", to_coordinator, from_coordinator)`` or
-    ``("tcp", host, port, io_timeout)``.
+    ``("tcp", host, port, io_timeout, protocol, auth_key)``.
     """
     kind = transport_spec[0]
     if kind == "local":
@@ -458,10 +476,11 @@ def _make_worker_transport(transport_spec: Tuple) -> SyncTransport:
     if kind == "tcp":
         from repro.distributed.client import RemoteSyncTransport
 
-        _, host, port, io_timeout = transport_spec
+        _, host, port, io_timeout, protocol, auth_key = transport_spec
         return RemoteSyncTransport(host, port,
                                    connect_timeout=min(60.0, io_timeout),
-                                   io_timeout=io_timeout)
+                                   io_timeout=io_timeout,
+                                   protocol=protocol, auth_key=auth_key)
     raise CampaignError(f"unknown transport spec {transport_spec[0]!r}")
 
 
@@ -782,6 +801,10 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
     # Fail fast on a bad policy name, before any process is spawned; the
     # policy object itself lives with the coordinator.
     budget_policy = budget_policy_from_name(parallel.budget_policy)
+    if parallel.transport == "tcp":
+        # Same for the wire protocol: a typo'd protocol name or a key on the
+        # pickle codec must not surface as N dead worker processes.
+        codec_from_name(parallel.protocol, parallel.auth_key)
     initial_budgets = {spec.shard_id: spec.config.queries_per_hour
                        for spec in shards}
     sync_hours = sync_schedule(hours, parallel.sync_interval)
@@ -886,14 +909,17 @@ def _run_shards_over_tcp(shards: Sequence[ShardSpec],
                          host=parallel.tcp_host, port=parallel.tcp_port,
                          prune=parallel.prune_broadcasts,
                          round_timeout=parallel.worker_timeout,
-                         budget_policy=budget_policy)
+                         budget_policy=budget_policy,
+                         protocol=parallel.protocol,
+                         auth_key=parallel.auth_key)
     server.start()
     start = time.perf_counter()
     processes = [
         context.Process(
             target=_worker_main,
             args=(spec, sync_hours, heartbeat_interval,
-                  ("tcp", server.host, server.port, io_timeout)),
+                  ("tcp", server.host, server.port, io_timeout,
+                   parallel.protocol, parallel.auth_key)),
             daemon=True,
             name=f"tqs-shard-{spec.shard_id}",
         )
@@ -1048,6 +1074,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default="local",
                         help="sync transport: in-process queues or a "
                              "localhost TCP index server (default: local)")
+    parser.add_argument("--protocol", choices=("json", "pickle"),
+                        default="json",
+                        help="wire encoding for --transport tcp: 'json' is "
+                             "protocol v2 (authenticated JSON frames), "
+                             "'pickle' the legacy trusted-host framing "
+                             "(default: json)")
+    parser.add_argument("--auth-key-file", default="",
+                        help="file holding the shared secret that "
+                             "authenticates protocol v2 frames (json "
+                             "protocol only)")
     parser.add_argument("--no-prune", action="store_true",
                         help="disable novelty pruning: rebroadcast every "
                              "other worker's entries, not just label-novel "
@@ -1075,6 +1111,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sync_interval=args.sync_interval,
         worker_timeout=args.worker_timeout,
         transport=args.transport,
+        protocol=args.protocol,
+        auth_key=load_auth_key(args.auth_key_file) if args.auth_key_file else None,
         prune_broadcasts=not args.no_prune,
         budget_policy=args.budget_policy,
         pipeline_batch_size=args.batch_size,

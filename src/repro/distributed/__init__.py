@@ -3,24 +3,36 @@
 The paper's Figure-10 scale-out keeps one central KQE graph index while N
 clients explore independently.  This package makes that deployment real:
 
-* :mod:`repro.distributed.protocol` — length-prefixed pickle frames and the
-  REGISTER / SYNC / REPORT / SHUTDOWN verbs of the bulk-synchronous protocol.
+* :mod:`repro.distributed.protocol` — the wire encodings behind the
+  REGISTER / SYNC / REPORT / SHUTDOWN verbs of the bulk-synchronous protocol:
+  protocol v2 (versioned, HMAC-authenticated JSON frames with a HELLO
+  handshake; the default) and the legacy length-prefixed pickle framing.
+* :mod:`repro.distributed.wire` — the typed JSON codecs of protocol v2: every
+  campaign payload (embeddings, shard specs, reports, budgets) has an explicit
+  schema, and decoding validates it.
 * :mod:`repro.distributed.coordinator` — the transport-agnostic central-index
   state machine with per-worker novelty pruning, shared with the in-process
   ``multiprocessing`` pool so TCP and local runs are bit-identical.
 * :mod:`repro.distributed.server` — :class:`IndexServer`, a threaded TCP
-  server hosting the coordinator for remote campaign clients.
+  server hosting the coordinator for remote campaign clients, with per-shard
+  liveness tracking and optional eviction of dead clients.
 * :mod:`repro.distributed.client` — :class:`RemoteSyncTransport` (the
   :class:`~repro.core.parallel.SyncTransport` implementation over a socket)
   and :func:`run_remote_client`, the full remote worker.
+* :mod:`repro.distributed.testing` — the fault-injection harness (a
+  frame-mangling proxy, scripted clients and a protocol fuzzer).
 * :mod:`repro.distributed.cli` — ``python -m repro.distributed``
-  (``serve`` / ``client`` / ``verify-local``).
+  (``serve`` / ``client`` / ``verify-local`` / ``fuzz``).
 """
 
 from repro.distributed.coordinator import CentralCoordinator
 from repro.distributed.protocol import (
     IndexEntry,
+    JsonFrameCodec,
+    PickleFrameCodec,
     SyncBroadcast,
+    codec_from_name,
+    load_auth_key,
     recv_frame,
     send_frame,
 )
@@ -28,7 +40,11 @@ from repro.distributed.protocol import (
 __all__ = [
     "CentralCoordinator",
     "IndexEntry",
+    "JsonFrameCodec",
+    "PickleFrameCodec",
     "SyncBroadcast",
+    "codec_from_name",
+    "load_auth_key",
     "recv_frame",
     "send_frame",
 ]

@@ -1,6 +1,6 @@
 """``python -m repro.distributed`` — run distributed campaigns over TCP.
 
-Three subcommands:
+Four subcommands:
 
 ``serve``
     Host the central KQE index server for one campaign: builds the same shard
@@ -16,6 +16,15 @@ Three subcommands:
     Re-run the campaign recorded in a serve-produced JSON file through the
     in-process pool and assert the merged results are identical — the
     distributed determinism contract, checkable post hoc from the artifact.
+
+``fuzz``
+    Throw N deterministic malformed frames (garbage, hostile lengths,
+    truncations, flipped MAC bits, wrong keys) at a live server and verify it
+    keeps serving — the protocol-robustness contract, checkable in CI.
+
+``serve`` and ``client`` default to protocol v2 (``--protocol json``:
+HMAC-authenticated JSON frames over a shared ``--auth-key-file``); pass
+``--protocol pickle`` only for legacy deployments on trusted hosts.
 """
 
 from __future__ import annotations
@@ -35,6 +44,29 @@ from repro.core.parallel import (
     run_parallel_shards,
     sync_schedule,
 )
+from repro.distributed.protocol import load_auth_key
+
+
+def _add_protocol_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol",
+        choices=("json", "pickle"),
+        default="json",
+        help="wire encoding: 'json' is protocol v2 (versioned, "
+        "HMAC-authenticated JSON frames; the default), 'pickle' the legacy "
+        "v1 framing for trusted hosts only",
+    )
+    parser.add_argument(
+        "--auth-key-file",
+        default="",
+        help="file holding the shared secret that authenticates protocol v2 "
+        "frames; both serve and clients must use the same key (json "
+        "protocol only)",
+    )
+
+
+def _auth_key(args: argparse.Namespace) -> Optional[bytes]:
+    return load_auth_key(args.auth_key_file) if args.auth_key_file else None
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +175,7 @@ def _campaign_echo(args: argparse.Namespace) -> Dict[str, Any]:
         "prune": not args.no_prune,
         "budget_policy": args.budget_policy,
         "batch_size": args.batch_size,
+        "protocol": args.protocol,
     }
 
 
@@ -172,12 +205,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         prune=not args.no_prune,
         round_timeout=args.round_timeout,
         budget_policy=budget_policy_from_name(args.budget_policy),
+        protocol=args.protocol,
+        auth_key=_auth_key(args),
+        evict_dead_clients=args.evict_dead_clients,
     )
     server.start()
+    auth = "on" if args.auth_key_file else "off"
     print(
         f"index server listening on {server.host}:{server.port} "
-        f"(expecting {len(shards)} clients, "
-        f"novelty pruning {'off' if args.no_prune else 'on'})",
+        f"(expecting {len(shards)} clients, protocol {args.protocol}, "
+        f"auth {auth}, novelty pruning {'off' if args.no_prune else 'on'})",
         flush=True,
     )
     start = time.perf_counter()
@@ -205,12 +242,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"broadcasts: {outcome.broadcast_entries_sent} entries sent, "
         f"{outcome.broadcast_entries_suppressed} suppressed by novelty pruning"
     )
+    for shard_id, reason in sorted(server.evicted.items()):
+        print(f"evicted shard {shard_id}: {reason}", file=sys.stderr)
+    if server.frames_rejected:
+        print(
+            f"rejected {server.frames_rejected} malformed/unauthenticated "
+            "frame(s); the offending connections were closed",
+            file=sys.stderr,
+        )
+    campaign = _campaign_echo(args)
+    if server.evicted:
+        # Record the evictions in the artifact: the merge covers only the
+        # survivors, and verify-local must know it is not looking at a
+        # healthy fixed-worker campaign.
+        campaign["evicted"] = {
+            str(sid): reason for sid, reason in sorted(server.evicted.items())
+        }
     if args.output:
-        write_parallel_result_json(outcome, args.output, campaign=_campaign_echo(args))
+        write_parallel_result_json(outcome, args.output, campaign=campaign)
         print(f"campaign JSON written to {args.output}")
     else:
         # Keep stdout machine-checkable even without an output file.
-        summary = parallel_result_to_dict(outcome, campaign=_campaign_echo(args))
+        summary = parallel_result_to_dict(outcome, campaign=campaign)
         print(json.dumps(summary["summary"]["merged"]["samples"][-1], sort_keys=True))
     return 0
 
@@ -223,6 +276,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         args.port,
         connect_timeout=args.connect_timeout,
         io_timeout=args.io_timeout,
+        protocol=args.protocol,
+        auth_key=_auth_key(args),
     )
     final = report.samples[-1]
     print(
@@ -244,6 +299,18 @@ def _cmd_verify_local(args: argparse.Namespace) -> int:
     campaign = recorded.get("campaign")
     if not campaign:
         print("JSON file carries no campaign block; cannot re-run", file=sys.stderr)
+        return 2
+    evicted = campaign.get("evicted")
+    if evicted:
+        details = "; ".join(
+            f"shard {sid}: {reason}" for sid, reason in sorted(evicted.items())
+        )
+        print(
+            f"recorded campaign evicted client(s) mid-run ({details}); the "
+            "merge covers only the survivors, so no healthy in-process pool "
+            "can reproduce it — nothing to verify",
+            file=sys.stderr,
+        )
         return 2
     config = CampaignConfig(
         dataset=campaign["dataset"],
@@ -289,6 +356,27 @@ def _cmd_verify_local(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.distributed.testing import fuzz_server
+
+    stats = fuzz_server(
+        args.host,
+        args.port,
+        frames=args.frames,
+        seed=args.seed,
+        auth_key=_auth_key(args),
+    )
+    total = sum(stats.values())
+    kinds = ", ".join(f"{kind} x{count}" for kind, count in sorted(stats.items()))
+    probe = (
+        "answered an authenticated probe"
+        if args.auth_key_file
+        else "kept accepting connections"
+    )
+    print(f"server survived {total} malformed frames ({kinds}) and {probe}")
+    return 0
+
+
 def _diff_summaries(recorded: Any, local: Any, path: str = "") -> List[str]:
     """Human-readable paths at which two summary trees disagree."""
     if isinstance(recorded, dict) and isinstance(local, dict):
@@ -321,6 +409,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     serve = subparsers.add_parser("serve", help="host the central index server")
     _add_campaign_arguments(serve)
+    _add_protocol_arguments(serve)
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=0, help="bind port; 0 = ephemeral (default: 0)"
@@ -329,8 +418,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--round-timeout",
         type=float,
         default=300.0,
-        help="seconds of total client silence before a sync barrier is "
-        "declared dead (default: 300)",
+        help="seconds an open sync round waits for its laggards before they "
+        "are declared stalled (default: 300)",
+    )
+    serve.add_argument(
+        "--evict-dead-clients",
+        action="store_true",
+        help="evict stalled/dead clients (redistributing their per-hour "
+        "budget to the survivors) instead of failing the whole campaign",
     )
     serve.add_argument(
         "--serve-timeout",
@@ -344,6 +439,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.set_defaults(func=_cmd_serve)
 
     client = subparsers.add_parser("client", help="run one campaign shard")
+    _add_protocol_arguments(client)
     client.add_argument("--host", default="127.0.0.1", help="server address")
     client.add_argument("--port", type=int, required=True, help="server port")
     client.add_argument(
@@ -372,6 +468,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker timeout for the verification pool (default: 300)",
     )
     verify.set_defaults(func=_cmd_verify_local)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="throw malformed frames at a live server; it must keep serving",
+    )
+    # Fuzzing always speaks (broken) protocol v2, so no --protocol here —
+    # only the key, for the final authenticated liveness probe.
+    fuzz.add_argument(
+        "--auth-key-file",
+        default="",
+        help="the server's auth key; when given, a final authenticated probe "
+        "asserts the server still answers real clients",
+    )
+    fuzz.add_argument("--host", default="127.0.0.1", help="server address")
+    fuzz.add_argument("--port", type=int, required=True, help="server port")
+    fuzz.add_argument(
+        "--frames",
+        type=int,
+        default=50,
+        help="how many malformed frames to send (default: 50)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic malformed-frame stream (default: 0)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -8,6 +8,11 @@ remote index server.  :func:`run_remote_client` is the full remote worker: it
 connects, asks the server to assign it one of the campaign's shards, runs the
 shard with a liveness heartbeat, and uploads the report —
 ``python -m repro.distributed client`` is a thin wrapper around it.
+
+The wire encoding mirrors the server's ``protocol=`` switch: ``"json"`` (the
+default) speaks protocol v2 — HMAC-authenticated JSON frames, opened with a
+HELLO version negotiation right after the socket connects — while
+``"pickle"`` keeps the legacy trusted-host framing for old servers.
 """
 
 from __future__ import annotations
@@ -19,7 +24,13 @@ import traceback
 from typing import List, Optional, Tuple
 
 from repro.distributed import protocol
-from repro.distributed.protocol import IndexEntry, SyncBroadcast
+from repro.distributed.protocol import (
+    FrameCodec,
+    IndexEntry,
+    SyncBroadcast,
+    client_handshake,
+    codec_from_name,
+)
 from repro.errors import TransportError
 
 
@@ -39,12 +50,21 @@ class RemoteSyncTransport:
         port: int,
         connect_timeout: float = 30.0,
         io_timeout: Optional[float] = 600.0,
+        protocol: str = "json",
+        auth_key: Optional[bytes] = None,
     ) -> None:
         self.host = host
         self.port = port
+        self.protocol = protocol
         self._io_timeout = io_timeout
         self._lock = threading.Lock()
+        self._codec: FrameCodec = codec_from_name(protocol, auth_key)
         self._sock = self._connect(connect_timeout, io_timeout)
+        try:
+            client_handshake(self._sock, self._codec)
+        except TransportError:
+            self.close()
+            raise
 
     def _connect(
         self, connect_timeout: float, io_timeout: Optional[float]
@@ -89,7 +109,7 @@ class RemoteSyncTransport:
                 # here as EOF or a keepalive reset, never a silent hang.
                 self._sock.settimeout(None)
             try:
-                reply = protocol.request(self._sock, message)
+                reply = self._codec.request(self._sock, message)
             finally:
                 if unbounded:
                     self._sock.settimeout(self._io_timeout)
@@ -149,10 +169,21 @@ class RemoteSyncTransport:
             pass
 
 
-def request_shutdown(host: str, port: int, connect_timeout: float = 10.0) -> None:
+def request_shutdown(
+    host: str,
+    port: int,
+    connect_timeout: float = 10.0,
+    protocol: str = "json",
+    auth_key: Optional[bytes] = None,
+) -> None:
     """Ask a running index server to shut down (the SHUTDOWN verb)."""
     transport = RemoteSyncTransport(
-        host, port, connect_timeout=connect_timeout, io_timeout=30.0
+        host,
+        port,
+        connect_timeout=connect_timeout,
+        io_timeout=30.0,
+        protocol=protocol,
+        auth_key=auth_key,
     )
     try:
         transport.shutdown_server()
@@ -166,6 +197,8 @@ def run_remote_client(
     connect_timeout: float = 60.0,
     io_timeout: float = 600.0,
     heartbeat_interval: float = 10.0,
+    protocol: str = "json",
+    auth_key: Optional[bytes] = None,
 ):
     """Run one full remote worker against an index server.
 
@@ -177,7 +210,12 @@ def run_remote_client(
     from repro.core.parallel import run_shard_with_heartbeat
 
     transport = RemoteSyncTransport(
-        host, port, connect_timeout=connect_timeout, io_timeout=io_timeout
+        host,
+        port,
+        connect_timeout=connect_timeout,
+        io_timeout=io_timeout,
+        protocol=protocol,
+        auth_key=auth_key,
     )
     shard_id: Optional[int] = None
     try:

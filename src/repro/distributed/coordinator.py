@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.core.budget import BudgetPolicy
+from repro.core.budget import BudgetPolicy, redistribute_budget
 from repro.distributed.protocol import IndexEntry, SyncBroadcast
 from repro.kqe.graph_index import GraphIndex
 
@@ -55,6 +55,11 @@ class CentralCoordinator:
         self.budget_policy = budget_policy
         self.budgets: Dict[int, int] = dict(initial_budgets or {})
         self._known: Dict[int, Set[str]] = {}
+        # Set when an eviction reshuffled the budgets outside a policy
+        # decision; the next round's broadcasts must carry the new allocation
+        # even when no budget policy is configured, or the evicted shard's
+        # budget would silently evaporate instead of being conserved.
+        self._budgets_dirty = False
 
     def known_labels(self, shard_id: int) -> Set[str]:
         """The canonical labels worker *shard_id* is known to hold."""
@@ -92,9 +97,7 @@ class CentralCoordinator:
                 # duplicates count once and no parallel label set is kept.
                 if not self.index.contains_label(label):
                     novel += 1
-                self.index.add_embedding(
-                    np.asarray(vector, dtype=np.float64), label
-                )
+                self.index.add_embedding(np.asarray(vector, dtype=np.float64), label)
                 known.add(label)
             novel_counts[shard_id] = novel
         next_budgets = self._rebalance(novel_counts)
@@ -121,9 +124,26 @@ class CentralCoordinator:
             self.broadcast_entries_suppressed += suppressed
         return broadcasts
 
+    def evict(self, shard_id: int) -> None:
+        """Drop a dead worker; its per-hour budget moves to the survivors.
+
+        The freed budget is redistributed deterministically (largest-remainder
+        split in sorted shard order), conserving the campaign's per-hour total
+        across the eviction — and it reaches the survivors in the next round's
+        broadcasts whether or not a budget policy is configured.
+        """
+        self._known.pop(shard_id, None)
+        if shard_id in self.budgets:
+            self.budgets = redistribute_budget(self.budgets, shard_id)
+            self._budgets_dirty = True
+
     def _rebalance(self, novel_counts: Dict[int, int]) -> Dict[int, int]:
-        """One round's budget decision; empty when no policy is configured."""
+        """One round's budget decision; empty when there is nothing to say."""
         if self.budget_policy is None or not self.budgets:
+            if self._budgets_dirty:
+                self._budgets_dirty = False
+                return dict(self.budgets)
             return {}
+        self._budgets_dirty = False
         self.budgets = self.budget_policy.rebalance(self.budgets, novel_counts)
         return self.budgets

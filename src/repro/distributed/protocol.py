@@ -1,40 +1,60 @@
-"""Wire protocol of the distributed KQE index server.
+"""Wire protocols of the distributed KQE index server.
 
 The parallel campaign runner's synchronization protocol is bulk-synchronous and
 transport-agnostic: workers ship batches of (embedding, canonical label) pairs
 at hour boundaries and block until the coordinator broadcasts the other
-workers' entries back.  This module pins down the TCP encoding of that
-protocol: length-prefixed pickle frames carrying small tagged tuples.
+workers' entries back.  This module pins down the TCP encodings of that
+protocol.  Two frame formats coexist behind the :class:`FrameCodec` interface:
 
-Frame layout::
+**Protocol v2 (``json``, the default)** — versioned, authenticated, no pickle
+on the wire::
 
-    +----------------+----------------------+
-    | 4-byte big-    | pickled message      |
-    | endian length  | (a tagged tuple)     |
-    +----------------+----------------------+
+    +-------+----------------+------------------+----------------------+
+    | magic | 4-byte big-    | 32-byte HMAC-    | UTF-8 JSON message   |
+    | TQS2  | endian length  | SHA256 tag       | (typed, wire.py)     |
+    +-------+----------------+------------------+----------------------+
+
+The tag authenticates ``magic || length || body`` under a shared secret, so a
+frame cannot be forged, truncated or bit-flipped without detection; the body is
+a typed JSON object whose schema lives in :mod:`repro.distributed.wire`.
+Connections open with a HELLO / version-negotiation exchange
+(:func:`client_handshake`), so mismatched peers fail with a clear error
+instead of a corrupt stream.  The HELLO_OK reply carries a per-connection
+server nonce that both ends mix into every subsequent tag
+(:meth:`JsonFrameCodec.bind`), so a frame captured on one connection does not
+authenticate on another — replay cannot kill a campaign.  Malformed or
+unauthenticated input raises :class:`~repro.errors.ProtocolError` — servers
+reject the connection and keep serving.
+
+**Protocol v1 (``pickle``, legacy)** — length-prefixed pickle frames.  Pickle
+deserialization executes arbitrary code, so this codec is only safe on trusted
+hosts (the same trust model as ``multiprocessing``'s own pickled queues); a v2
+server turns v1 clients away with a clean, v1-readable rejection instead of
+unpickling anything.
 
 Messages are plain tuples whose first element is one of the verb constants
 below; payloads are stdlib/dataclass objects so both ends only need this
-package importable.  Pickle is the right trade-off here: the index server is a
-campaign-internal coordination service run on trusted hosts (the same trust
-model as ``multiprocessing``'s own pickled queues), not an
-internet-facing endpoint.
+package importable.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import json
 import pickle
 import socket
 import struct
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from repro.errors import TransportError
+from repro.errors import ProtocolError, TransportError
 
 # Serialized index entries: (embedding as a plain list, canonical label).
 IndexEntry = Tuple[List[float], str]
 
 # Client -> server verbs.
+HELLO = "hello"
 REGISTER = "register"
 SYNC = "sync"
 TICK = "tick"
@@ -43,6 +63,7 @@ ERROR = "error"
 SHUTDOWN = "shutdown"
 
 # Server -> client replies.
+HELLO_OK = "hello-ok"
 REGISTERED = "registered"
 BROADCAST = "broadcast"
 OK = "ok"
@@ -52,7 +73,29 @@ ABORT = "abort"
 # pathological campaign ships a few thousand 64-float embeddings per round.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+# Protocol v2 framing: magic, then the same 4-byte length prefix as v1, then
+# the authentication tag, then the JSON body.
+MAGIC = b"TQS2"
+PROTOCOL_VERSION = 2
+MAC_BYTES = hashlib.sha256().digest_size
+
 _HEADER = struct.Struct(">I")
+
+V1_REJECTION = (
+    "this index server speaks protocol v2 (authenticated JSON frames); "
+    "legacy pickle clients are rejected — reconnect with protocol='json' "
+    "and the server's auth key"
+)
+
+
+class ProtocolMismatchError(ProtocolError):
+    """The peer is not speaking protocol v2 at all (no magic on the frame).
+
+    Raised instead of a generic :class:`~repro.errors.ProtocolError` so a v2
+    server can answer a legacy pickle client in *its* dialect (a pickled ABORT
+    frame) before closing — the one case where a clean rejection needs to know
+    what the other side expected.
+    """
 
 
 @dataclass
@@ -73,8 +116,11 @@ class SyncBroadcast:
     next_budget: Optional[int] = None
 
 
+# ======================================================================== v1
+
+
 def send_frame(sock: socket.socket, message: Any) -> None:
-    """Serialize *message* and write one length-prefixed frame."""
+    """Serialize *message* and write one length-prefixed pickle (v1) frame."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME_BYTES:
         raise TransportError(
@@ -85,6 +131,15 @@ def send_frame(sock: socket.socket, message: Any) -> None:
         sock.sendall(_HEADER.pack(len(payload)) + payload)
     except OSError as exc:
         raise TransportError(f"send failed: {exc}") from exc
+
+
+class _MidStreamEOFError(TransportError):
+    """Connection closed with a partial read on the wire (internal marker).
+
+    Lets the v2 reader classify truncation as *malformed input*
+    (:class:`~repro.errors.ProtocolError`) without matching on error text;
+    for v1 callers it is just the :class:`TransportError` it always was.
+    """
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
@@ -103,7 +158,7 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
         if not chunk:
             if not chunks:
                 return None
-            raise TransportError(
+            raise _MidStreamEOFError(
                 f"connection closed mid-frame ({count - remaining}/{count} bytes)"
             )
         chunks.append(chunk)
@@ -112,7 +167,11 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
 
 
 def recv_frame(sock: socket.socket, allow_eof: bool = False) -> Any:
-    """Read one frame; returns the message, or None on clean EOF if allowed."""
+    """Read one v1 frame; returns the message, or None on clean EOF if allowed.
+
+    Unpickles the payload — only ever call this on frames from trusted peers
+    (see the module docstring); protocol v2 never does.
+    """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         if allow_eof:
@@ -133,6 +192,206 @@ def recv_frame(sock: socket.socket, allow_eof: bool = False) -> Any:
 
 
 def request(sock: socket.socket, message: Any) -> Any:
-    """One request/response round trip."""
+    """One v1 request/response round trip."""
     send_frame(sock, message)
     return recv_frame(sock)
+
+
+# ======================================================================== v2
+
+
+def _recv_component(
+    sock: socket.socket, count: int, what: str, allow_eof: bool = False
+) -> Optional[bytes]:
+    """Read one v2 frame component; a partial read means a truncated frame.
+
+    Socket-level failures (timeouts, resets) stay :class:`TransportError`;
+    a peer that closes mid-frame produced *malformed input* and gets a
+    :class:`~repro.errors.ProtocolError` so servers treat it as a bad client,
+    not a dead transport.  With *allow_eof* a clean EOF before the first byte
+    returns None (only sensible for the frame's leading component).
+    """
+    try:
+        data = _recv_exact(sock, count)
+    except _MidStreamEOFError as exc:
+        raise ProtocolError(f"frame truncated while reading its {what}: {exc}") from exc
+    if data is None and not allow_eof:
+        raise ProtocolError(
+            f"frame truncated: connection closed before its {what} "
+            f"({count} bytes expected)"
+        )
+    return data
+
+
+class FrameCodec:
+    """One wire encoding of the sync protocol's tagged-tuple messages."""
+
+    name = "abstract"
+
+    def send(self, sock: socket.socket, message: Any) -> None:
+        raise NotImplementedError
+
+    def recv(self, sock: socket.socket, allow_eof: bool = False) -> Any:
+        raise NotImplementedError
+
+    def request(self, sock: socket.socket, message: Any) -> Any:
+        """One request/response round trip."""
+        self.send(sock, message)
+        return self.recv(sock)
+
+
+class PickleFrameCodec(FrameCodec):
+    """The legacy v1 encoding: length-prefixed pickle, trusted hosts only."""
+
+    name = "pickle"
+
+    def send(self, sock: socket.socket, message: Any) -> None:
+        send_frame(sock, message)
+
+    def recv(self, sock: socket.socket, allow_eof: bool = False) -> Any:
+        return recv_frame(sock, allow_eof)
+
+
+class JsonFrameCodec(FrameCodec):
+    """Protocol v2: HMAC-SHA256-authenticated JSON frames, no pickle.
+
+    *auth_key* is the shared secret both ends must hold; ``None`` (or empty)
+    falls back to an unkeyed tag that still catches corruption and framing
+    bugs but authenticates nothing — fine on localhost, not across hosts.
+
+    A codec instance belongs to one connection: after the handshake both ends
+    :meth:`bind` it to the server's connection nonce, which is mixed into
+    every later tag so captured frames do not replay across connections.
+    """
+
+    name = "json"
+
+    def __init__(self, auth_key: Optional[bytes] = None) -> None:
+        self._key = bytes(auth_key or b"")
+        self._binding = b""
+
+    def bind(self, nonce: str) -> None:
+        """Mix the connection's HELLO_OK nonce into all subsequent tags."""
+        self._binding = nonce.encode("ascii")
+
+    def _tag(self, header: bytes, body: bytes) -> bytes:
+        material = self._binding + header + body
+        return hmac.new(self._key, material, hashlib.sha256).digest()
+
+    def encode(self, message: Any) -> bytes:
+        """The full frame for *message*, as bytes (used by the fault harness)."""
+        from repro.distributed import wire
+
+        body = json.dumps(
+            wire.encode_message(message), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"refusing to send a {len(body)}-byte frame "
+                f"(limit {MAX_FRAME_BYTES}); batch your entries"
+            )
+        header = MAGIC + _HEADER.pack(len(body))
+        return header + self._tag(header, body) + body
+
+    def send(self, sock: socket.socket, message: Any) -> None:
+        try:
+            sock.sendall(self.encode(message))
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def recv(self, sock: socket.socket, allow_eof: bool = False) -> Any:
+        magic = _recv_component(sock, len(MAGIC), "magic", allow_eof=True)
+        if magic is None:
+            if allow_eof:
+                return None
+            raise TransportError("connection closed while waiting for a frame")
+        if magic != MAGIC:
+            raise ProtocolMismatchError(
+                f"not a protocol v2 frame (leading bytes {magic!r}); the peer "
+                "may be speaking the legacy pickle protocol or garbage"
+            )
+        header = _recv_component(sock, _HEADER.size, "length prefix")
+        (length,) = _HEADER.unpack(header)
+        # Bound memory *before* any allocation: a corrupt or hostile length
+        # prefix must never make the reader buffer gigabytes.
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds {MAX_FRAME_BYTES}; "
+                "corrupt or hostile stream"
+            )
+        tag = _recv_component(sock, MAC_BYTES, "authentication tag")
+        body = _recv_component(sock, length, "body")
+        if not hmac.compare_digest(tag, self._tag(magic + header, body)):
+            raise ProtocolError(
+                "frame authentication failed (HMAC mismatch); check that both "
+                "ends share the same auth key — and that the frame was not "
+                "replayed from another connection"
+            )
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+        from repro.distributed import wire
+
+        return wire.decode_message(obj)
+
+
+def codec_from_name(name: str, auth_key: Optional[bytes] = None) -> FrameCodec:
+    """Construct the frame codec for a ``protocol=`` configuration value."""
+    if name == "json":
+        return JsonFrameCodec(auth_key)
+    if name == "pickle":
+        if auth_key:
+            raise TransportError(
+                "the legacy pickle protocol cannot authenticate frames; "
+                "use protocol='json' with an auth key"
+            )
+        return PickleFrameCodec()
+    raise TransportError(f"unknown wire protocol {name!r}; expected 'json' or 'pickle'")
+
+
+def load_auth_key(path: str) -> bytes:
+    """Read a shared auth key from *path* (surrounding whitespace stripped)."""
+    try:
+        with open(path, "rb") as handle:
+            key = handle.read().strip()
+    except OSError as exc:
+        raise TransportError(f"cannot read auth key file {path!r}: {exc}") from exc
+    if not key:
+        raise TransportError(f"auth key file {path!r} is empty")
+    return key
+
+
+def client_handshake(sock: socket.socket, codec: FrameCodec) -> None:
+    """Open a protocol v2 connection: HELLO out, HELLO_OK (or a reason) back.
+
+    A no-op for the v1 pickle codec, which never negotiated.  On success the
+    codec is bound to the server's connection nonce (replay protection).
+    Raises :class:`TransportError` with a diagnosis when the server rejects
+    the version, speaks a different protocol, or holds a different auth key.
+    """
+    if codec.name != "json":
+        return
+    codec.send(sock, (HELLO, PROTOCOL_VERSION))
+    try:
+        reply = codec.recv(sock)
+    except ProtocolMismatchError as exc:
+        raise TransportError(
+            "index server did not answer the v2 handshake with a v2 frame; "
+            f"it may be running the legacy pickle protocol ({exc})"
+        ) from exc
+    except ProtocolError as exc:
+        raise TransportError(
+            f"v2 handshake reply was rejected ({exc}); do both ends share "
+            "the same auth key?"
+        ) from exc
+    except TransportError as exc:
+        raise TransportError(
+            f"index server closed the connection during the v2 handshake "
+            f"({exc}); is it running protocol v2?"
+        ) from exc
+    if reply[0] == ABORT:
+        raise TransportError(f"index server rejected the handshake: {reply[1]}")
+    if reply[0] != HELLO_OK or reply[1] != PROTOCOL_VERSION:
+        raise TransportError(f"unexpected handshake reply {reply!r}")
+    codec.bind(reply[2])

@@ -8,20 +8,34 @@ pre-assigned shard id or asking the server to assign one of the campaign's
 shards), SYNC a batch at every scheduled hour boundary and block until the
 round's broadcast, REPORT their finished shard, and may request SHUTDOWN.
 
+The wire encoding is pluggable (``protocol="json" | "pickle"``): the default
+is protocol v2 — HMAC-authenticated JSON frames opened by a HELLO version
+negotiation — under which nothing received from a socket is ever unpickled;
+legacy pickle clients are turned away with a clean, v1-readable rejection.
+Malformed or unauthenticated frames reject *that connection* and leave the
+server serving.
+
 One handler thread serves each client connection; the sync barrier is a
 condition variable: the thread that delivers the round's last batch computes
 every worker's (novelty-pruned) broadcast under the lock, so results do not
 depend on network timing — a campaign run against this server is
 bit-identical to the in-process pool for the same seed.
 
-Liveness mirrors the in-process coordinator: any protocol message (including
-out-of-band TICK heartbeats from workers mid-hour) refreshes the activity
-clock, and a barrier only declares the pool dead after ``round_timeout``
-seconds of *total silence* — a slow hour never kills a healthy campaign.
+Liveness is tracked per shard: every protocol message (including out-of-band
+TICK heartbeats) refreshes its sender's activity clock, and once a sync round
+opens, the shards that fail to deliver their batch within ``round_timeout``
+seconds are declared stalled — heartbeats prove a process is alive, not that
+it is making progress, so a wedged client can no longer park a barrier
+forever.  What happens to a stalled or dead client is policy:
+``evict_dead_clients=False`` (the default) fails the campaign fast, naming
+the shards; ``evict_dead_clients=True`` evicts them instead — the barrier
+releases, the survivors complete the round, and the evicted shard's per-hour
+budget is redistributed (total conserved) via the coordinator.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import socketserver
 import threading
@@ -32,8 +46,14 @@ from repro.core.budget import BudgetPolicy
 from repro.core.parallel import ShardSpec, WorkerReport
 from repro.distributed import protocol
 from repro.distributed.coordinator import CentralCoordinator
-from repro.distributed.protocol import IndexEntry, SyncBroadcast
-from repro.errors import TransportError
+from repro.distributed.protocol import (
+    FrameCodec,
+    IndexEntry,
+    ProtocolMismatchError,
+    SyncBroadcast,
+    codec_from_name,
+)
+from repro.errors import ProtocolError, TransportError
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -51,20 +71,83 @@ class _Handler(socketserver.BaseRequestHandler):
         sock: socket.socket = self.request
         sock.settimeout(owner.round_timeout + 30.0)
         shard_ids: List[int] = []
+        codec = owner.connection_codec()
         try:
+            if not self._handshake(owner, sock, codec):
+                return
             while True:
-                message = protocol.recv_frame(sock, allow_eof=True)
+                try:
+                    message = codec.recv(sock, allow_eof=True)
+                except ProtocolError as exc:
+                    # Malformed, truncated or unauthenticated input: reject
+                    # this connection, keep serving everyone else.
+                    owner.frame_rejected(shard_ids, str(exc))
+                    self._abort(sock, codec, str(exc))
+                    return
                 if message is None:
                     break
                 reply, keep_going = owner.dispatch(message, shard_ids)
                 if reply is not None:
-                    protocol.send_frame(sock, reply)
+                    codec.send(sock, reply)
                 if not keep_going:
                     break
         except TransportError as exc:
             owner.connection_broken(shard_ids, str(exc))
         finally:
             owner.connection_closed(shard_ids)
+
+    def _handshake(self, owner: "IndexServer", sock, codec: FrameCodec) -> bool:
+        """Protocol v2 version negotiation; True when the connection may talk."""
+        if codec.name != "json":
+            return True
+        try:
+            message = codec.recv(sock, allow_eof=True)
+        except ProtocolMismatchError as exc:
+            # A legacy pickle client (or garbage).  Answer in the v1 dialect —
+            # *sending* pickle is harmless, only loading it is not — so old
+            # clients see the reason instead of a confusing EOF.
+            owner.frame_rejected([], str(exc))
+            try:
+                protocol.send_frame(sock, (protocol.ABORT, protocol.V1_REJECTION))
+            except TransportError:
+                pass
+            return False
+        except ProtocolError as exc:
+            owner.frame_rejected([], str(exc))
+            self._abort(sock, codec, f"handshake failed: {exc}")
+            return False
+        if message is None:
+            return False
+        if message[0] != protocol.HELLO:
+            owner.frame_rejected([], f"no HELLO before {message[0]!r}")
+            self._abort(
+                sock,
+                codec,
+                f"protocol v2 requires a HELLO handshake before {message[0]!r}",
+            )
+            return False
+        if message[1] != protocol.PROTOCOL_VERSION:
+            owner.frame_rejected([], f"unsupported version {message[1]!r}")
+            self._abort(
+                sock,
+                codec,
+                f"unsupported protocol version {message[1]!r}; this server "
+                f"speaks version {protocol.PROTOCOL_VERSION}",
+            )
+            return False
+        # Bind the rest of the connection to a fresh nonce: frames captured
+        # elsewhere fail authentication here, so replay cannot fail a round.
+        nonce = os.urandom(16).hex()
+        codec.send(sock, (protocol.HELLO_OK, protocol.PROTOCOL_VERSION, nonce))
+        codec.bind(nonce)
+        return True
+
+    def _abort(self, sock, codec: FrameCodec, reason: str) -> None:
+        """Best-effort ABORT so the peer learns why it is being dropped."""
+        try:
+            codec.send(sock, (protocol.ABORT, reason))
+        except TransportError:
+            pass
 
 
 class IndexServer:
@@ -79,11 +162,19 @@ class IndexServer:
         prune: bool = True,
         round_timeout: float = 300.0,
         budget_policy: Optional[BudgetPolicy] = None,
+        protocol: str = "json",
+        auth_key: Optional[bytes] = None,
+        evict_dead_clients: bool = False,
     ) -> None:
         if not shards:
             raise TransportError("an index server needs at least one shard")
         self.sync_hours: Tuple[int, ...] = tuple(sync_hours)
         self.round_timeout = round_timeout
+        self.protocol = protocol
+        self._auth_key = auth_key
+        # Validate the protocol/key combination before binding the socket.
+        codec_from_name(protocol, auth_key)
+        self.evict_dead_clients = evict_dead_clients
         self.coordinator = CentralCoordinator(
             prune=prune,
             budget_policy=budget_policy,
@@ -93,19 +184,24 @@ class IndexServer:
         )
         self.reports: Dict[int, WorkerReport] = {}
         self.expected = len(shards)
+        self.frames_rejected = 0
         self._shards = {spec.shard_id: spec for spec in shards}
         self._assignable: List[ShardSpec] = sorted(
             shards, key=lambda spec: spec.shard_id
         )
         self._registered: set = set()
+        self._evicted: Dict[int, str] = {}
+        now = time.monotonic()
+        self._shard_activity: Dict[int, float] = {spec.shard_id: now for spec in shards}
         self._round_batches: Dict[int, Dict[int, List[IndexEntry]]] = {}
         self._round_broadcasts: Dict[int, Dict[int, SyncBroadcast]] = {}
-        self._round_deliveries: Dict[int, int] = {}
+        self._round_pending_fetch: Dict[int, set] = {}
+        self._round_opened: Dict[int, float] = {}
         self._completed_hours: set = set()
         self._cond = threading.Condition()
         self._done = threading.Event()
         self._failure: Optional[str] = None
-        self._last_activity = time.monotonic()
+        self._last_activity = now
         self._server = _TCPServer((host, port), _Handler, bind_and_activate=True)
         self._server.index_server = self
         self.host, self.port = self._server.server_address[:2]
@@ -113,6 +209,10 @@ class IndexServer:
         self._stopped = False
 
     # ------------------------------------------------------------- lifecycle
+
+    def connection_codec(self) -> FrameCodec:
+        """A fresh codec for one connection (each gets its own nonce binding)."""
+        return codec_from_name(self.protocol, self._auth_key)
 
     def start(self) -> "IndexServer":
         """Serve in a daemon thread; returns self for chaining."""
@@ -137,7 +237,7 @@ class IndexServer:
             self._thread.join(timeout=5.0)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until every shard reported (or the campaign failed)."""
+        """Block until every live shard reported (or the campaign failed)."""
         return self._done.wait(timeout)
 
     @property
@@ -148,14 +248,31 @@ class IndexServer:
 
     @property
     def completed(self) -> bool:
-        """True when every expected shard delivered its report."""
+        """True when every live (non-evicted) shard delivered its report."""
         with self._cond:
-            return len(self.reports) == self.expected
+            return self._completed_locked()
+
+    def _completed_locked(self) -> bool:
+        # A campaign with no reports is never complete: evicting or losing
+        # the last client leaves nothing to salvage.
+        return bool(self.reports) and len(self.reports) >= self._live_expected()
+
+    @property
+    def evicted(self) -> Dict[int, str]:
+        """Shards evicted for liveness failures, with the reason for each."""
+        with self._cond:
+            return dict(self._evicted)
 
     def seconds_since_activity(self) -> float:
         """Seconds since the last protocol message from any client."""
         with self._cond:
             return time.monotonic() - self._last_activity
+
+    def _live_expected(self) -> int:
+        return self.expected - len(self._evicted)
+
+    def _live_shard_ids(self) -> List[int]:
+        return [sid for sid in self._shards if sid not in self._evicted]
 
     # -------------------------------------------------------------- failures
 
@@ -165,32 +282,124 @@ class IndexServer:
             self._fail_locked(reason)
 
     def _fail_locked(self, reason: str) -> None:
-        # Completion wins races: once every shard has reported, a late
+        # Completion wins races: once every live shard has reported, a late
         # failure signal (e.g. the serve CLI's overall timeout firing just as
         # the last REPORT lands) must not discard a finished campaign.
-        if self._failure is None and len(self.reports) < self.expected:
+        if self._failure is None and not self._completed_locked():
             self._failure = reason
         self._done.set()
         self._cond.notify_all()
 
+    def frame_rejected(self, shard_ids: List[int], detail: str) -> None:
+        """A connection sent a malformed/unauthenticated frame and was cut."""
+        with self._cond:
+            self.frames_rejected += 1
+            self._connection_lost_locked(shard_ids, f"sent a malformed frame: {detail}")
+
     def connection_broken(self, shard_ids: List[int], detail: str) -> None:
         """A client connection died mid-protocol."""
         with self._cond:
-            missing = [sid for sid in shard_ids if sid not in self.reports]
-            if missing and not self._done.is_set():
-                self._fail_locked(
-                    f"connection for shard(s) {missing} broke "
-                    f"before reporting: {detail}"
-                )
+            self._connection_lost_locked(
+                shard_ids, f"connection broke before reporting: {detail}"
+            )
 
     def connection_closed(self, shard_ids: List[int]) -> None:
         """A client connection reached EOF; fine unless its report is missing."""
         with self._cond:
-            missing = [sid for sid in shard_ids if sid not in self.reports]
-            if missing and self._failure is None and not self._done.is_set():
-                self._fail_locked(
-                    f"client for shard(s) {missing} disconnected before reporting"
+            self._connection_lost_locked(
+                shard_ids, "client disconnected before reporting"
+            )
+
+    def _connection_lost_locked(self, shard_ids: List[int], why: str) -> None:
+        missing = [
+            sid
+            for sid in shard_ids
+            if sid not in self.reports and sid not in self._evicted
+        ]
+        if not missing or self._done.is_set() or self._failure is not None:
+            return
+        if self.evict_dead_clients:
+            for sid in missing:
+                self._evict_locked(sid, why)
+        else:
+            self._fail_locked(f"shard(s) {missing}: {why}")
+
+    # -------------------------------------------------------------- eviction
+
+    def _evict_locked(self, shard_id: int, reason: str) -> None:
+        """Remove a dead/stalled shard from the campaign and move on.
+
+        Open rounds stop waiting for (and drop any batch from) the shard, its
+        per-hour budget is redistributed to the survivors (conserving the
+        campaign total), and completion is re-checked — the eviction of the
+        last missing shard is what releases a stuck barrier.
+        """
+        if shard_id in self._evicted:
+            return
+        self._evicted[shard_id] = reason
+        self._registered.discard(shard_id)
+        self.coordinator.evict(shard_id)
+        for hour, batches in list(self._round_batches.items()):
+            if hour not in self._round_broadcasts:
+                batches.pop(shard_id, None)
+        for hour in list(self._round_broadcasts):
+            pending = self._round_pending_fetch[hour]
+            pending.discard(shard_id)
+            if not pending:
+                self._cleanup_round_locked(hour)
+        if self._live_expected() == 0:
+            self._fail_locked("every client was evicted before the campaign completed")
+            return
+        for hour in list(self._round_batches):
+            self._maybe_complete_round_locked(hour)
+        if self._completed_locked():
+            self._done.set()
+        self._cond.notify_all()
+
+    def _enforce_round_deadline_locked(self, hour: int) -> None:
+        """Once a round opens, the laggards have ``round_timeout`` to join.
+
+        Heartbeats keep a *pre-round* client alive indefinitely, but they no
+        longer count as barrier progress: a client that registers (and ticks)
+        without ever syncing used to park the round forever.  Now it is
+        evicted — or, without ``evict_dead_clients``, the campaign fails fast
+        naming the stalled shards.
+        """
+        if hour in self._round_broadcasts or self._failure is not None:
+            return
+        opened = self._round_opened.get(hour)
+        if opened is None:
+            return
+        now = time.monotonic()
+        waited = now - opened
+        if waited <= self.round_timeout:
+            return
+        batches = self._round_batches.get(hour, {})
+        stalled = sorted(sid for sid in self._live_shard_ids() if sid not in batches)
+        if not stalled:
+            return
+
+        # The per-shard activity clock cannot excuse a laggard (its heartbeat
+        # thread ticks whether the worker is computing or wedged), but it
+        # tells the operator which failure they are looking at: a dead client
+        # went silent, a wedged one was heard from moments ago.
+        def last_heard(sid: int) -> str:
+            return f"last heard from {now - self._shard_activity[sid]:.0f}s ago"
+
+        if self.evict_dead_clients and len(stalled) < self._live_expected():
+            for sid in stalled:
+                self._evict_locked(
+                    sid,
+                    f"no sync at hour {hour} within {self.round_timeout:.0f}s "
+                    f"of the round opening ({last_heard(sid)})",
                 )
+        else:
+            silence = ", ".join(f"shard {sid}: {last_heard(sid)}" for sid in stalled)
+            self._fail_locked(
+                f"sync barrier at hour {hour} waited {waited:.0f}s for "
+                f"shard(s) {stalled} ({len(batches)}/{self._live_expected()} "
+                f"batches in; {silence}); assuming dead or stalled worker(s)"
+            )
 
     # ------------------------------------------------------------ dispatch
 
@@ -202,7 +411,7 @@ class IndexServer:
         if verb == protocol.REGISTER:
             return self._register(message[1], shard_ids), True
         if verb == protocol.TICK:
-            self._touch()
+            self._touch(message[1] if len(message) > 1 else None)
             return (protocol.OK,), True
         if verb == protocol.SYNC:
             _, shard_id, hour, entries = message
@@ -214,8 +423,10 @@ class IndexServer:
             # Only a *registered* worker's failure dooms the campaign.  A
             # superfluous client whose registration was rejected (operator
             # over-provisioned, or a crashed client restarted) also reports an
-            # error on its way out; a healthy run must shrug that off.
+            # error on its way out, and so does an evicted client discovering
+            # its eviction; a healthy run must shrug those off.
             with self._cond:
+                self._touch_locked(shard_id)
                 if shard_id in self._registered:
                     self._fail_locked(f"worker {shard_id} failed:\n{text}")
             return (protocol.OK,), True
@@ -224,21 +435,32 @@ class IndexServer:
             return (protocol.OK,), False
         return (protocol.ABORT, f"unknown verb {verb!r}"), False
 
-    def _touch(self) -> None:
+    def _touch(self, shard_id: Optional[int] = None) -> None:
         with self._cond:
-            self._last_activity = time.monotonic()
+            self._touch_locked(shard_id)
+
+    def _touch_locked(self, shard_id: Optional[int] = None) -> None:
+        now = time.monotonic()
+        self._last_activity = now
+        if shard_id is not None and shard_id in self._shard_activity:
+            self._shard_activity[shard_id] = now
 
     def _register(self, shard_id: Optional[int], shard_ids: List[int]):
         with self._cond:
-            self._last_activity = time.monotonic()
             if self._failure is not None:
                 return (protocol.ABORT, self._failure)
+            if shard_id is not None and shard_id in self._evicted:
+                return (
+                    protocol.ABORT,
+                    f"shard {shard_id} was evicted: {self._evicted[shard_id]}",
+                )
             if shard_id is None:
                 # Server-side assignment: hand out the next unassigned shard.
                 unassigned = [
                     spec
                     for spec in self._assignable
                     if spec.shard_id not in self._registered
+                    and spec.shard_id not in self._evicted
                 ]
                 if not unassigned:
                     return (
@@ -255,13 +477,19 @@ class IndexServer:
                 spec = None  # the client brought its own spec
             self._registered.add(shard_id)
             shard_ids.append(shard_id)
+            self._touch_locked(shard_id)
             return (protocol.REGISTERED, spec, self.sync_hours)
 
     def _sync(self, shard_id: int, hour: int, entries: List[IndexEntry]):
         with self._cond:
-            self._last_activity = time.monotonic()
+            self._touch_locked(shard_id)
             if self._failure is not None:
                 return (protocol.ABORT, self._failure)
+            if shard_id in self._evicted:
+                return (
+                    protocol.ABORT,
+                    f"shard {shard_id} was evicted: {self._evicted[shard_id]}",
+                )
             if shard_id not in self._registered:
                 # A stray batch must not count toward (or corrupt) the
                 # barrier; diagnose it instead of letting a later broadcast
@@ -283,45 +511,61 @@ class IndexServer:
                     f"{shard_id} at hour {hour}"
                 )
                 return (protocol.ABORT, self._failure)
+            self._round_opened.setdefault(hour, time.monotonic())
             batches[shard_id] = entries
-            if len(batches) == self.expected:
-                # Last arrival completes the round for everyone, under the
-                # lock, in sorted shard order — timing cannot leak into the
-                # merged index or the broadcasts.
-                self._round_broadcasts[hour] = self.coordinator.complete_round(batches)
-                self._cond.notify_all()
+            self._maybe_complete_round_locked(hour)
             while hour not in self._round_broadcasts and self._failure is None:
                 self._cond.wait(timeout=1.0)
-                if (
-                    hour not in self._round_broadcasts
-                    and self._failure is None
-                    and time.monotonic() - self._last_activity > self.round_timeout
-                ):
-                    self._fail_locked(
-                        f"sync barrier at hour {hour} heard nothing for "
-                        f"{self.round_timeout:.0f}s "
-                        f"({len(batches)}/{self.expected} batches in); "
-                        "assuming a dead worker"
-                    )
+                self._enforce_round_deadline_locked(hour)
             if self._failure is not None:
                 return (protocol.ABORT, self._failure)
             broadcast = self._round_broadcasts[hour][shard_id]
-            # Free the round's payloads once every worker has fetched its
-            # broadcast — a long campaign must not accumulate every round's
-            # raw embedding batches in server memory.
-            self._round_deliveries[hour] = self._round_deliveries.get(hour, 0) + 1
-            if self._round_deliveries[hour] == self.expected:
-                self._completed_hours.add(hour)
-                del self._round_batches[hour]
-                del self._round_broadcasts[hour]
-                del self._round_deliveries[hour]
+            # Free the round's payloads once every live worker has fetched
+            # its broadcast — a long campaign must not accumulate every
+            # round's raw embedding batches in server memory.
+            pending = self._round_pending_fetch[hour]
+            pending.discard(shard_id)
+            if not pending:
+                self._cleanup_round_locked(hour)
             return (protocol.BROADCAST, broadcast)
+
+    def _maybe_complete_round_locked(self, hour: int) -> None:
+        """Complete the round when every live shard's batch is in.
+
+        The completing thread computes every worker's (novelty-pruned)
+        broadcast under the lock, in sorted shard order — timing cannot leak
+        into the merged index or the broadcasts.
+        """
+        if hour in self._round_broadcasts:
+            return
+        batches = self._round_batches.get(hour)
+        if not batches:
+            return
+        live = self._live_shard_ids()
+        if not live or any(sid not in batches for sid in live):
+            return
+        self._round_broadcasts[hour] = self.coordinator.complete_round(batches)
+        self._round_pending_fetch[hour] = set(batches)
+        self._cond.notify_all()
+
+    def _cleanup_round_locked(self, hour: int) -> None:
+        self._completed_hours.add(hour)
+        del self._round_batches[hour]
+        del self._round_broadcasts[hour]
+        del self._round_pending_fetch[hour]
+        self._round_opened.pop(hour, None)
 
     def _report(self, report: WorkerReport):
         with self._cond:
-            self._last_activity = time.monotonic()
+            self._touch_locked(report.shard_id)
             if self._failure is not None:
                 return (protocol.ABORT, self._failure)
+            if report.shard_id in self._evicted:
+                return (
+                    protocol.ABORT,
+                    f"shard {report.shard_id} was evicted: "
+                    f"{self._evicted[report.shard_id]}",
+                )
             if report.shard_id not in self._registered:
                 self._fail_locked(
                     f"protocol violation: report from unregistered shard "
@@ -336,15 +580,15 @@ class IndexServer:
                 return (protocol.ABORT, self._failure)
             self.coordinator.absorb(report.unsynced_entries)
             self.reports[report.shard_id] = report
-            if len(self.reports) == self.expected:
+            if self._completed_locked():
                 self._done.set()
                 self._cond.notify_all()
             return (protocol.OK,)
 
     def _shutdown_requested(self) -> None:
         with self._cond:
-            self._last_activity = time.monotonic()
-            if len(self.reports) < self.expected:
+            self._touch_locked()
+            if not self._completed_locked():
                 self._fail_locked("shutdown requested before campaign completed")
         # Stop serving from a helper thread: stop() joins the serve-forever
         # thread, which is fine from a handler thread but must not run under

@@ -1,0 +1,428 @@
+"""Typed JSON codecs for protocol v2 of the distributed index server.
+
+:mod:`repro.distributed.protocol` moves the sync protocol's messages as tagged
+tuples; this module is the explicit schema that turns each of them into a
+plain JSON object and back — the half of protocol v2 that replaces pickle.
+Every payload the campaign ships (embeddings, shard specs, hourly samples, bug
+incidents, budget vectors) has a dedicated encoder/decoder pair, and decoding
+*validates*: a field of the wrong type, a missing key or an unknown verb
+raises :class:`~repro.errors.ProtocolError` instead of surfacing later as an
+``AttributeError`` deep inside the coordinator.
+
+Fidelity matters more than compactness here: the distributed determinism
+contract says a TCP campaign must be bit-identical to the in-process pool, so
+the codecs must round-trip every value exactly.  Floats survive because
+``json`` serializes them via ``repr`` (shortest round-tripping form); tuples
+are restored where the in-memory types use tuples (``fired_bug_ids``, index
+entries); and dataclasses are rebuilt field by field so ``==`` holds across
+one encode/decode cycle.
+
+The imports of campaign/parallel dataclasses are deferred into the decoders:
+:mod:`repro.core.parallel` imports this package's protocol module, so a
+module-level import here would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed.protocol import (
+    ABORT,
+    BROADCAST,
+    ERROR,
+    HELLO,
+    HELLO_OK,
+    OK,
+    REGISTER,
+    REGISTERED,
+    REPORT,
+    SHUTDOWN,
+    SYNC,
+    TICK,
+    IndexEntry,
+    SyncBroadcast,
+)
+from repro.errors import ProtocolError
+
+_SAMPLE_FIELDS = (
+    "hour",
+    "queries_generated",
+    "queries_executed",
+    "isomorphic_sets",
+    "bug_count",
+    "bug_type_count",
+    "generations_rejected",
+)
+
+
+# ---------------------------------------------------------------- validation
+
+
+def _fail(where: str, detail: str) -> None:
+    raise ProtocolError(f"invalid {where}: {detail}")
+
+
+def _obj(value: Any, where: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        _fail(where, f"expected an object, got {type(value).__name__}")
+    return value
+
+
+def _get(obj: Dict[str, Any], key: str, where: str) -> Any:
+    if key not in obj:
+        _fail(where, f"missing field {key!r}")
+    return obj[key]
+
+
+def _int(value: Any, where: str) -> int:
+    # bool is an int subclass; a true/false where a count belongs is a bug.
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(where, f"expected an integer, got {type(value).__name__}")
+    return value
+
+
+def _opt_int(value: Any, where: str) -> Optional[int]:
+    return None if value is None else _int(value, where)
+
+
+def _str(value: Any, where: str) -> str:
+    if not isinstance(value, str):
+        _fail(where, f"expected a string, got {type(value).__name__}")
+    return value
+
+
+def _opt_str(value: Any, where: str) -> Optional[str]:
+    return None if value is None else _str(value, where)
+
+
+def _bool(value: Any, where: str) -> bool:
+    if not isinstance(value, bool):
+        _fail(where, f"expected a boolean, got {type(value).__name__}")
+    return value
+
+
+def _float(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(where, f"expected a number, got {type(value).__name__}")
+    return float(value)
+
+
+def _list(value: Any, where: str) -> List[Any]:
+    if not isinstance(value, list):
+        _fail(where, f"expected an array, got {type(value).__name__}")
+    return value
+
+
+def _int_field(obj: Dict[str, Any], key: str, where: str) -> int:
+    return _int(_get(obj, key, where), f"{where} {key}")
+
+
+def _str_field(obj: Dict[str, Any], key: str, where: str) -> str:
+    return _str(_get(obj, key, where), f"{where} {key}")
+
+
+# ------------------------------------------------------------ payload codecs
+
+
+def encode_entries(entries: Sequence[IndexEntry]) -> List[List[Any]]:
+    """Index entries as ``[[vector, label], ...]``."""
+    return [[list(vector), label] for vector, label in entries]
+
+
+def decode_entries(value: Any, where: str = "index entries") -> List[IndexEntry]:
+    entries: List[IndexEntry] = []
+    for pair in _list(value, where):
+        pair = _list(pair, f"{where} entry")
+        if len(pair) != 2:
+            _fail(where, f"entry must be a [vector, label] pair, got {len(pair)}")
+        vector = _list(pair[0], f"{where} vector")
+        entries.append(
+            (
+                [_float(x, f"{where} vector component") for x in vector],
+                _str(pair[1], f"{where} label"),
+            )
+        )
+    return entries
+
+
+def encode_broadcast(broadcast: SyncBroadcast) -> Dict[str, Any]:
+    return {
+        "entries": encode_entries(broadcast.entries),
+        "suppressed": broadcast.suppressed,
+        "next_budget": broadcast.next_budget,
+    }
+
+
+def decode_broadcast(value: Any) -> SyncBroadcast:
+    obj = _obj(value, "sync broadcast")
+    where = "sync broadcast"
+    return SyncBroadcast(
+        entries=decode_entries(_get(obj, "entries", where), f"{where} entries"),
+        suppressed=_int_field(obj, "suppressed", where),
+        next_budget=_opt_int(_get(obj, "next_budget", where), f"{where} next_budget"),
+    )
+
+
+def encode_campaign_config(config: Any) -> Dict[str, Any]:
+    return {
+        "dataset": config.dataset,
+        "dataset_rows": config.dataset_rows,
+        "hours": config.hours,
+        "queries_per_hour": config.queries_per_hour,
+        "seed": config.seed,
+        "use_noise": config.use_noise,
+        "use_ground_truth": config.use_ground_truth,
+        "use_kqe": config.use_kqe,
+        "max_hint_sets": config.max_hint_sets,
+    }
+
+
+def decode_campaign_config(value: Any) -> Any:
+    from repro.core.campaign import CampaignConfig
+
+    obj = _obj(value, "campaign config")
+    where = "campaign config"
+    return CampaignConfig(
+        dataset=_str_field(obj, "dataset", where),
+        dataset_rows=_int_field(obj, "dataset_rows", where),
+        hours=_int_field(obj, "hours", where),
+        queries_per_hour=_int_field(obj, "queries_per_hour", where),
+        seed=_int_field(obj, "seed", where),
+        use_noise=_bool(_get(obj, "use_noise", where), f"{where} use_noise"),
+        use_ground_truth=_bool(
+            _get(obj, "use_ground_truth", where), f"{where} use_ground_truth"
+        ),
+        use_kqe=_bool(_get(obj, "use_kqe", where), f"{where} use_kqe"),
+        max_hint_sets=_opt_int(
+            _get(obj, "max_hint_sets", where), f"{where} max_hint_sets"
+        ),
+    )
+
+
+def encode_shard_spec(spec: Any) -> Dict[str, Any]:
+    return {
+        "shard_id": spec.shard_id,
+        "kind": spec.kind,
+        "config": encode_campaign_config(spec.config),
+        "dialect": spec.dialect,
+        "baseline": spec.baseline,
+        "backend": spec.backend,
+        "batch_size": spec.batch_size,
+    }
+
+
+def decode_shard_spec(value: Any) -> Any:
+    from repro.core.parallel import ShardSpec
+
+    obj = _obj(value, "shard spec")
+    where = "shard spec"
+    return ShardSpec(
+        shard_id=_int_field(obj, "shard_id", where),
+        kind=_str_field(obj, "kind", where),
+        config=decode_campaign_config(_get(obj, "config", where)),
+        dialect=_str_field(obj, "dialect", where),
+        baseline=_str_field(obj, "baseline", where),
+        backend=_str_field(obj, "backend", where),
+        batch_size=_int_field(obj, "batch_size", where),
+    )
+
+
+def encode_sample(sample: Any) -> Dict[str, Any]:
+    return {name: getattr(sample, name) for name in _SAMPLE_FIELDS}
+
+
+def decode_sample(value: Any) -> Any:
+    from repro.core.campaign import HourlySample
+
+    obj = _obj(value, "hourly sample")
+    fields = {name: _int_field(obj, name, "hourly sample") for name in _SAMPLE_FIELDS}
+    return HourlySample(**fields)
+
+
+def encode_incident(incident: Any) -> Dict[str, Any]:
+    return {
+        "dbms": incident.dbms,
+        "query_sql": incident.query_sql,
+        "hint_name": incident.hint_name,
+        "detection_mode": incident.detection_mode,
+        "query_canonical_label": incident.query_canonical_label,
+        "fired_bug_ids": list(incident.fired_bug_ids),
+        "expected_rows": incident.expected_rows,
+        "observed_rows": incident.observed_rows,
+        "minimized_sql": incident.minimized_sql,
+    }
+
+
+def decode_incident(value: Any) -> Any:
+    from repro.core.bug_report import BugIncident
+
+    obj = _obj(value, "bug incident")
+    where = "bug incident"
+    fired = _list(_get(obj, "fired_bug_ids", where), f"{where} fired_bug_ids")
+    return BugIncident(
+        dbms=_str_field(obj, "dbms", where),
+        query_sql=_str_field(obj, "query_sql", where),
+        hint_name=_str_field(obj, "hint_name", where),
+        detection_mode=_str_field(obj, "detection_mode", where),
+        query_canonical_label=_str_field(obj, "query_canonical_label", where),
+        fired_bug_ids=tuple(
+            _int(bug_id, f"{where} fired_bug_ids element") for bug_id in fired
+        ),
+        expected_rows=_int_field(obj, "expected_rows", where),
+        observed_rows=_int_field(obj, "observed_rows", where),
+        minimized_sql=_opt_str(
+            _get(obj, "minimized_sql", where), f"{where} minimized_sql"
+        ),
+    )
+
+
+def encode_worker_report(report: Any) -> Dict[str, Any]:
+    return {
+        "shard_id": report.shard_id,
+        "tool": report.tool,
+        "dbms": report.dbms,
+        "dataset": report.dataset,
+        "samples": [encode_sample(sample) for sample in report.samples],
+        "hourly_new_labels": [list(labels) for labels in report.hourly_new_labels],
+        "hourly_incidents": [
+            [encode_incident(incident) for incident in incidents]
+            for incidents in report.hourly_incidents
+        ],
+        "unsynced_entries": encode_entries(report.unsynced_entries),
+        "hourly_budgets": list(report.hourly_budgets),
+        "entries_shipped": report.entries_shipped,
+        "broadcast_entries_received": report.broadcast_entries_received,
+        "broadcast_entries_suppressed": report.broadcast_entries_suppressed,
+    }
+
+
+def decode_worker_report(value: Any) -> Any:
+    from repro.core.parallel import WorkerReport
+
+    obj = _obj(value, "worker report")
+    where = "worker report"
+    labels = [
+        [_str(label, f"{where} label") for label in _list(hour, f"{where} labels")]
+        for hour in _list(_get(obj, "hourly_new_labels", where), where)
+    ]
+    incidents = [
+        [decode_incident(incident) for incident in _list(hour, f"{where} incidents")]
+        for hour in _list(_get(obj, "hourly_incidents", where), where)
+    ]
+    budgets = _list(_get(obj, "hourly_budgets", where), f"{where} hourly_budgets")
+    return WorkerReport(
+        shard_id=_int_field(obj, "shard_id", where),
+        tool=_str_field(obj, "tool", where),
+        dbms=_str_field(obj, "dbms", where),
+        dataset=_str_field(obj, "dataset", where),
+        samples=[
+            decode_sample(sample)
+            for sample in _list(_get(obj, "samples", where), f"{where} samples")
+        ],
+        hourly_new_labels=labels,
+        hourly_incidents=incidents,
+        unsynced_entries=decode_entries(
+            _get(obj, "unsynced_entries", where), f"{where} unsynced_entries"
+        ),
+        hourly_budgets=[_int(budget, f"{where} hourly budget") for budget in budgets],
+        entries_shipped=_int_field(obj, "entries_shipped", where),
+        broadcast_entries_received=_int_field(obj, "broadcast_entries_received", where),
+        broadcast_entries_suppressed=_int_field(
+            obj, "broadcast_entries_suppressed", where
+        ),
+    )
+
+
+# ------------------------------------------------------------ message codecs
+
+
+def encode_message(message: Any) -> Dict[str, Any]:
+    """One tagged-tuple protocol message as a JSON-ready object."""
+    if not isinstance(message, tuple) or not message:
+        raise ProtocolError(f"cannot encode non-message {message!r}")
+    verb = message[0]
+    if verb == HELLO:
+        return {"verb": verb, "version": message[1]}
+    if verb == HELLO_OK:
+        return {"verb": verb, "version": message[1], "nonce": message[2]}
+    if verb == REGISTER:
+        return {"verb": verb, "shard_id": message[1]}
+    if verb == SYNC:
+        return {
+            "verb": verb,
+            "shard_id": message[1],
+            "hour": message[2],
+            "entries": encode_entries(message[3]),
+        }
+    if verb == TICK:
+        return {"verb": verb, "shard_id": message[1]}
+    if verb == REPORT:
+        return {"verb": verb, "report": encode_worker_report(message[1])}
+    if verb == ERROR:
+        return {"verb": verb, "shard_id": message[1], "text": message[2]}
+    if verb == SHUTDOWN:
+        return {"verb": verb}
+    if verb == REGISTERED:
+        spec = message[1]
+        return {
+            "verb": verb,
+            "spec": None if spec is None else encode_shard_spec(spec),
+            "sync_hours": list(message[2]),
+        }
+    if verb == BROADCAST:
+        return {"verb": verb, "broadcast": encode_broadcast(message[1])}
+    if verb == OK:
+        return {"verb": verb}
+    if verb == ABORT:
+        return {"verb": verb, "reason": message[1]}
+    raise ProtocolError(f"cannot encode message with unknown verb {verb!r}")
+
+
+def decode_message(obj: Any) -> Tuple[Any, ...]:
+    """Validate one received JSON object back into its tagged tuple."""
+    obj = _obj(obj, "protocol message")
+    verb = _str(_get(obj, "verb", "protocol message"), "protocol verb")
+    if verb == HELLO:
+        return (verb, _int(_get(obj, "version", verb), "protocol version"))
+    if verb == HELLO_OK:
+        return (
+            verb,
+            _int(_get(obj, "version", verb), "protocol version"),
+            _str(_get(obj, "nonce", verb), "handshake nonce"),
+        )
+    if verb == REGISTER:
+        return (verb, _opt_int(_get(obj, "shard_id", verb), "register shard_id"))
+    if verb == SYNC:
+        return (
+            verb,
+            _int(_get(obj, "shard_id", verb), "sync shard_id"),
+            _int(_get(obj, "hour", verb), "sync hour"),
+            decode_entries(_get(obj, "entries", verb), "sync entries"),
+        )
+    if verb == TICK:
+        return (verb, _int(_get(obj, "shard_id", verb), "tick shard_id"))
+    if verb == REPORT:
+        return (verb, decode_worker_report(_get(obj, "report", verb)))
+    if verb == ERROR:
+        return (
+            verb,
+            _int(_get(obj, "shard_id", verb), "error shard_id"),
+            _str(_get(obj, "text", verb), "error text"),
+        )
+    if verb == SHUTDOWN:
+        return (verb,)
+    if verb == REGISTERED:
+        spec = _get(obj, "spec", verb)
+        hours = _list(_get(obj, "sync_hours", verb), "registered sync_hours")
+        return (
+            verb,
+            None if spec is None else decode_shard_spec(spec),
+            [_int(hour, "registered sync hour") for hour in hours],
+        )
+    if verb == BROADCAST:
+        return (verb, decode_broadcast(_get(obj, "broadcast", verb)))
+    if verb == OK:
+        return (verb,)
+    if verb == ABORT:
+        return (verb, _str(_get(obj, "reason", verb), "abort reason"))
+    raise ProtocolError(f"unknown protocol verb {verb!r}")

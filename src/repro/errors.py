@@ -59,6 +59,15 @@ class TransportError(CampaignError):
     """Raised when a distributed sync transport fails (framing, I/O, protocol)."""
 
 
+class ProtocolError(TransportError):
+    """Raised for malformed, truncated or unauthenticated protocol v2 frames.
+
+    Distinct from its :class:`TransportError` parent so servers can tell
+    *bad input* (reject the connection, keep serving) from *transport
+    failure* (socket died, peer gone).
+    """
+
+
 class BackendError(ReproError):
     """Raised when a real-DBMS backend adapter fails (connection, load, execute)."""
 

@@ -16,7 +16,7 @@ from repro.core import (
     run_parallel_tqs_campaign,
     split_budget,
 )
-from repro.core.budget import _POLICY_FACTORIES
+from repro.core.budget import _POLICY_FACTORIES, redistribute_budget
 from repro.distributed.coordinator import CentralCoordinator
 from repro.engine import SIM_MYSQL
 from repro.errors import CampaignError
@@ -34,6 +34,48 @@ class TestSplitBudget:
     def test_zero_shares_rejected(self):
         with pytest.raises(CampaignError):
             split_budget(10, 0)
+
+    def test_zero_budget_splits_to_zeros(self):
+        """Zero-budget hours are legal: every shard idles, nothing crashes."""
+        assert split_budget(0, 3) == [0, 0, 0]
+
+
+class TestRebalanceEdgeCases:
+    def test_single_shard_rebalance_keeps_the_whole_budget(self):
+        policy = AdaptiveBudgetPolicy()
+        assert policy.rebalance({3: 7}, {3: 0}) == {3: 7}
+        assert policy.rebalance({3: 7}, {3: 1000}) == {3: 7}
+
+    def test_zero_total_budget_rebalances_to_zeros(self):
+        policy = AdaptiveBudgetPolicy()
+        allocation = policy.rebalance({0: 0, 1: 0}, {0: 5, 1: 0})
+        assert allocation == {0: 0, 1: 0}
+
+    def test_even_policy_zero_budget_identity(self):
+        policy = EvenBudgetPolicy()
+        assert policy.rebalance({0: 0, 1: 0}, {0: 9, 1: 9}) == {0: 0, 1: 0}
+
+
+class TestRedistributeBudget:
+    def test_freed_budget_goes_to_survivors_largest_remainder(self):
+        assert redistribute_budget({0: 4, 1: 4, 2: 5}, 2) == {0: 7, 1: 6}
+
+    def test_total_is_conserved(self):
+        budgets = {0: 3, 1: 5, 2: 7, 3: 2}
+        for evicted in budgets:
+            result = redistribute_budget(budgets, evicted)
+            assert sum(result.values()) == sum(budgets.values())
+            assert evicted not in result
+
+    def test_unknown_shard_is_a_no_op(self):
+        budgets = {0: 4, 1: 4}
+        assert redistribute_budget(budgets, 9) == budgets
+
+    def test_sole_shard_eviction_empties_the_allocation(self):
+        assert redistribute_budget({0: 6}, 0) == {}
+
+    def test_zero_budget_eviction_changes_nothing_else(self):
+        assert redistribute_budget({0: 0, 1: 6}, 0) == {1: 6}
 
 
 class TestEvenPolicy:
@@ -141,6 +183,56 @@ class TestCoordinatorBudgets:
         )
         assert broadcasts[0].next_budget is None
         assert broadcasts[1].next_budget is None
+
+
+class TestCoordinatorEviction:
+    def entry(self, label):
+        return ([0.0, 1.0], label)
+
+    def test_eviction_conserves_total_without_a_policy(self):
+        coordinator = CentralCoordinator(
+            prune=True, initial_budgets={0: 4, 1: 4, 2: 4}
+        )
+        coordinator.evict(1)
+        assert coordinator.budgets == {0: 6, 2: 6}
+        # Even without a policy, the next round's broadcasts must carry the
+        # redistributed allocation to the survivors exactly once.
+        first = coordinator.complete_round(
+            {0: [self.entry("L1")], 2: [self.entry("L2")]}
+        )
+        assert first[0].next_budget == 6
+        assert first[2].next_budget == 6
+        second = coordinator.complete_round({0: [], 2: []})
+        assert second[0].next_budget is None
+        assert second[2].next_budget is None
+
+    def test_eviction_conserves_total_under_adaptive_policy(self):
+        coordinator = CentralCoordinator(
+            prune=True,
+            budget_policy=AdaptiveBudgetPolicy(),
+            initial_budgets={0: 6, 1: 6, 2: 6},
+        )
+        coordinator.evict(0)
+        assert sum(coordinator.budgets.values()) == 18
+        broadcasts = coordinator.complete_round(
+            {1: [self.entry("L1")], 2: []}
+        )
+        assert broadcasts[1].next_budget + broadcasts[2].next_budget == 18
+
+    def test_eviction_drops_the_workers_novelty_bookkeeping(self):
+        coordinator = CentralCoordinator(prune=True, initial_budgets={0: 2, 1: 2})
+        coordinator.complete_round({0: [self.entry("L1")], 1: []})
+        assert coordinator.known_labels(0)
+        coordinator.evict(0)
+        assert 0 not in coordinator._known
+        assert coordinator.budgets == {1: 4}
+
+    def test_evicting_an_unbudgeted_shard_is_harmless(self):
+        coordinator = CentralCoordinator(prune=True, initial_budgets={0: 4})
+        coordinator.evict(7)
+        assert coordinator.budgets == {0: 4}
+        broadcasts = coordinator.complete_round({0: []})
+        assert broadcasts[0].next_budget is None
 
 
 # ------------------------------------------------------------ end-to-end pool

@@ -192,10 +192,25 @@ class TestTCPDeterminism:
         assert len(lines) == 1
         assert "bug_count" in lines[0]
 
+    def test_pickle_protocol_pool_matches_local_pool(self, local_pool2):
+        """v1 back-compat: the legacy pickle framing is still bit-identical."""
+        pickle_pool = run_parallel_tqs_campaign(
+            SIM_MYSQL, FAST, pool_config(2, transport="tcp", protocol="pickle")
+        )
+        assert pickle_pool.merged.samples == local_pool2.merged.samples
+        assert bug_keys(pickle_pool.merged) == bug_keys(local_pool2.merged)
+
     def test_unknown_transport_rejected(self):
         shards = build_shard_specs("tqs", FAST, 2)
         with pytest.raises(CampaignError):
             run_parallel_shards(shards, pool_config(2, transport="carrier-pigeon"))
+
+    def test_unknown_wire_protocol_rejected_before_spawning(self):
+        shards = build_shard_specs("tqs", FAST, 2)
+        with pytest.raises(CampaignError, match="unknown wire protocol"):
+            run_parallel_shards(
+                shards, pool_config(2, transport="tcp", protocol="telegraph")
+            )
 
 
 class TestPayloadReduction:
@@ -325,9 +340,7 @@ class TestIndexServerProtocol:
                     shard_id, 1, [([1.0, 0.0], f"L{shard_id}")]
                 )
 
-            threads = [
-                threading.Thread(target=worker, args=(sid,)) for sid in (0, 1)
-            ]
+            threads = [threading.Thread(target=worker, args=(sid,)) for sid in (0, 1)]
             server._registered.update({0, 1})
             for thread in threads:
                 thread.start()
