@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.analysis import render_differential_summary
 from repro.backends import SimulatedBackend, SQLiteBackend
 from repro.core import (
@@ -36,12 +37,18 @@ def test_backend_differential_sqlite(benchmark, campaign_config_factory):
                                      dataset="shopping", seed=5)
 
     def run():
-        return run_differential_campaign(SQLiteBackend(), config)
+        obs.reset_registry()
+        start = time.perf_counter()
+        campaign = run_differential_campaign(SQLiteBackend(), config)
+        return campaign, time.perf_counter() - start
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, wall = benchmark.pedantic(run, rounds=1, iterations=1)
 
     print()
     print(render_differential_summary(result))
+    print()
+    print(obs.render_phase_breakdown(obs.get_registry().snapshot(),
+                                     wall_seconds=wall))
     assert result.final.queries_executed > 0
     assert result.final.bug_count == 0, "false positives against bug-free SQLite"
 
@@ -159,4 +166,67 @@ def test_pipeline_overlap_speedup(benchmark):
     assert speedup >= 1.5, (
         f"expected >= 1.5x overlap speedup on an I/O-bound target, "
         f"got {speedup:.2f}x"
+    )
+
+
+@pytest.mark.benchmark(group="backend-differential-pipeline")
+def test_telemetry_overhead_under_five_percent(benchmark):
+    """Phase spans and counters must not tax the pipelined campaign.
+
+    Runs the same latency-padded pipelined workload with telemetry enabled
+    and disabled — alternating off/on pairs and keeping each side's best
+    time, so scheduler noise and thermal drift hit both sides equally — and
+    asserts the enabled path is within 5% of the disabled one: the
+    zero-cost-enough contract the observability layer promises.
+    """
+    delay = 0.020
+    config = CampaignConfig(dataset="shopping", dataset_rows=90, hours=2,
+                            queries_per_hour=16, seed=5)
+
+    def run_once():
+        reference = _LatencyReferenceEngine(DSG(config.dsg_config()).database,
+                                            delay)
+        tester = build_differential_tester(_LatencySQLiteBackend(delay), config,
+                                           reference=reference,
+                                           pipeline=PipelineConfig(batch_size=8))
+        result = CampaignResult(tool="TQS-differential",
+                                dbms=tester.backend.name,
+                                dataset=config.dataset)
+        start = time.perf_counter()
+        try:
+            result = run_campaign_loop(tester, result, config.hours,
+                                       config.queries_per_hour)
+        finally:
+            tester.close()
+        return result, time.perf_counter() - start
+
+    def timed(enabled):
+        previous = obs.set_enabled(enabled)
+        try:
+            obs.reset_registry()
+            return run_once()
+        finally:
+            obs.set_enabled(previous)
+
+    def measure():
+        off_result, off_best = timed(False)
+        on_result, on_best = timed(True)
+        for _ in range(3):
+            off_best = min(off_best, timed(False)[1])
+            on_best = min(on_best, timed(True)[1])
+        return off_result, off_best, on_result, on_best
+
+    off_result, off_seconds, on_result, on_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    overhead = on_seconds / off_seconds - 1.0
+    print()
+    print(f"telemetry off {off_seconds:.3f}s vs on {on_seconds:.3f}s "
+          f"-> {overhead * 100.0:+.2f}% overhead")
+    assert on_result.samples == off_result.samples, (
+        "telemetry must not change campaign verdicts"
+    )
+    assert overhead < 0.05, (
+        f"telemetry overhead {overhead * 100.0:.2f}% exceeds the 5% budget"
     )

@@ -101,6 +101,12 @@ def test_figure10_real_worker_pool(benchmark):
     speedup = serial_elapsed / max(pool.elapsed_seconds, 1e-9)
     print()
     print(render_worker_pool(pool))
+    if pool.telemetry is not None:
+        from repro import obs
+
+        print()
+        print(obs.render_phase_breakdown(
+            obs.MetricsSnapshot.from_dict(pool.telemetry)))
     print()
     print(render_table(
         ["runner", "wall clock (s)", "queries", "isomorphic sets", "bugs",

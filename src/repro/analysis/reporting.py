@@ -227,12 +227,29 @@ def parallel_result_to_dict(outcome, campaign: Optional[Dict] = None) -> Dict:
     incidents = []
     if merged.bug_log is not None:
         incidents = [asdict(incident) for incident in merged.bug_log.incidents]
+    # Telemetry is wall-clock-dependent, so it lives OUTSIDE the summary block:
+    # verify-local compares summaries only and stays transport-independent.
+    telemetry = getattr(outcome, "telemetry", None)
+    telemetry_block = None
+    if telemetry is not None:
+        from repro import obs
+
+        snapshot = obs.MetricsSnapshot.from_dict(telemetry)
+        telemetry_block = {
+            "snapshot": telemetry,
+            "phases": [
+                {"phase": phase, "seconds": seconds, "count": count}
+                for phase, seconds, count in obs.phase_breakdown(snapshot)
+            ],
+            "execute_errors": obs.error_breakdown(snapshot),
+        }
     return {
         "campaign": campaign,
         "transport": getattr(outcome, "transport", "local"),
         "elapsed_seconds": outcome.elapsed_seconds,
         "summary": summary,
         "incidents": incidents,
+        "telemetry": telemetry_block,
     }
 
 

@@ -10,8 +10,10 @@ report mismatches, while the bug-free reference must not.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
+from repro import obs
 from repro.backends.base import BackendAdapter, BackendExecution
 from repro.catalog.schema import DatabaseSchema
 from repro.engine.dialects import DialectProfile
@@ -65,7 +67,12 @@ class SimulatedBackend(BackendAdapter):
     # ------------------------------------------------------------ execution
 
     def execute(self, query: QuerySpec) -> BackendExecution:
+        registry = obs.get_registry()
+        start = time.perf_counter()
         report = self.engine.execute_with_report(query, self.hints)
+        elapsed = time.perf_counter() - start
+        registry.observe_phase("execute.target", elapsed)
+        registry.histogram("execute.seconds", backend=self.name).observe(elapsed)
         # sql stays empty: the engine executes the IR directly, and incident
         # filing falls back to query.render() — rendering eagerly here would
         # waste a full tree walk on every matching query of a campaign.

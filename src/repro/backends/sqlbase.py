@@ -14,8 +14,10 @@ handling then land in one place instead of drifting per adapter.
 
 from __future__ import annotations
 
+import time
 from typing import Any, List, Tuple
 
+from repro import obs
 from repro.backends.base import BackendAdapter, BackendExecution
 from repro.backends.sqlrender import SQLRenderer
 from repro.catalog.schema import DatabaseSchema
@@ -122,8 +124,14 @@ class RenderedSQLBackend(BackendAdapter):
         return ResultSet(columns, rows)
 
     def execute(self, query: QuerySpec) -> BackendExecution:
-        sql = self.renderer.query(query)
+        registry = obs.get_registry()
+        with registry.span("render"):
+            sql = self.renderer.query(query)
+        start = time.perf_counter()
         result = self.execute_sql(sql)
+        elapsed = time.perf_counter() - start
+        registry.observe_phase("execute.target", elapsed)
+        registry.histogram("execute.seconds", backend=self.name).observe(elapsed)
         # Use the IR's own output naming so result sets line up with the
         # reference executor even if the engine mangles duplicate names.
         names = query.output_columns()

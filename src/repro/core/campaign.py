@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Union
 
+from repro import obs
 from repro.backends.base import BackendAdapter
 from repro.baselines.base import BaselineTester
 from repro.core.bug_report import BugIncident, BugLog
@@ -151,10 +152,19 @@ def run_campaign_loop(tester, result: CampaignResult, hours: int,
     constant: the adaptive-budget worker uses that to apply the coordinator's
     per-round reallocations without forking the loop.
     """
+    registry = obs.get_registry()
     rejected = 0
     known_labels: Set[str] = set()
     incident_watermark = 0
     flush = getattr(tester, "flush", None)
+    # Counter baselines: testers hand cumulative counts to the loop, telemetry
+    # counters want per-hour deltas (and must stay correct for testers that
+    # are resumed with non-zero counts).
+    prev_generated = tester.queries_generated
+    prev_executed = tester.queries_executed
+    prev_sets = tester.explored_isomorphic_sets
+    prev_bugs = tester.bug_log.bug_count
+    prev_rejected = 0
     for hour in range(1, hours + 1):
         budget = (queries_per_hour(hour) if callable(queries_per_hour)
                   else queries_per_hour)
@@ -177,6 +187,21 @@ def run_campaign_loop(tester, result: CampaignResult, hours: int,
             generations_rejected=rejected,
         )
         result.samples.append(sample)
+        registry.counter("campaign.hours").inc()
+        registry.counter("campaign.queries_generated").inc(
+            sample.queries_generated - prev_generated)
+        registry.counter("campaign.queries_executed").inc(
+            sample.queries_executed - prev_executed)
+        registry.counter("campaign.novel_labels").inc(
+            sample.isomorphic_sets - prev_sets)
+        registry.counter("campaign.bugs").inc(sample.bug_count - prev_bugs)
+        registry.counter("campaign.generations_rejected").inc(
+            rejected - prev_rejected)
+        prev_generated = sample.queries_generated
+        prev_executed = sample.queries_executed
+        prev_sets = sample.isomorphic_sets
+        prev_bugs = sample.bug_count
+        prev_rejected = rejected
         if on_hour is not None:
             current_labels = tester.diversity.labels
             new_labels = sorted(current_labels - known_labels)

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.backends.base import BackendAdapter, BackendExecution
 from repro.core.bug_report import BugIncident, BugLog
 from repro.core.execpipe import ExecutionPipeline, PipelineConfig, QueryJob
@@ -134,17 +135,23 @@ class DifferentialOracle:
         """
         if execution.error is not None:
             self.skipped += 1
+            obs.get_registry().counter(
+                "execute.errors",
+                backend=self.backend.name,
+                kind=type(execution.error).__name__,
+            ).inc()
             return DifferentialOutcome(
                 query=query, canonical_label=label, sql="", matched=True,
                 skipped=True, skip_reason=str(execution.error),
             )
         assert reference_result is not None
         self.comparisons += 1
-        matched = result_sets_match(
-            reference_result, execution.result,
-            rel_tol=self.config.float_rel_tol,
-            abs_tol=self.config.float_abs_tol,
-        )
+        with obs.span("judge"):
+            matched = result_sets_match(
+                reference_result, execution.result,
+                rel_tol=self.config.float_rel_tol,
+                abs_tol=self.config.float_abs_tol,
+            )
         outcome = DifferentialOutcome(
             query=query,
             canonical_label=label,
@@ -183,8 +190,9 @@ class DifferentialOracle:
             execution: BackendExecution = self.backend.execute(query)
         except (RenderError, BackendError) as error:
             return self.judge(query, label, BackendExecution(error=error), None)
-        return self.judge(query, label, execution,
-                          self.reference.execute(query))
+        with obs.span("execute.reference"):
+            reference_result = self.reference.execute(query)
+        return self.judge(query, label, execution, reference_result)
 
 
 class DifferentialTester:
@@ -266,12 +274,13 @@ class DifferentialTester:
         return value is None; outcomes land in :attr:`outcomes` (in generation
         order) when the batch flushes.
         """
-        query = self._generate()
-        self.queries_generated += 1
-        label = self.graph_builder.build(query).canonical_label()
-        self.diversity.add_label(label)
-        if self.kqe is not None:
-            self.kqe.register(query)
+        with obs.span("generate"):
+            query = self._generate()
+            self.queries_generated += 1
+            label = self.graph_builder.build(query).canonical_label()
+            self.diversity.add_label(label)
+            if self.kqe is not None:
+                self.kqe.register(query)
         if self.pipeline is None:
             outcome = self.oracle.check(query, label)
             self.outcomes.append(outcome)

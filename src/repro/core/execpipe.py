@@ -37,6 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from repro import obs
 from repro.backends.base import BackendExecution
 from repro.engine.resultset import ResultSet
 from repro.errors import CampaignError
@@ -165,7 +166,8 @@ class ExecutionPipeline:
     def _execute_reference(self, jobs: Sequence[QueryJob]) -> List[ResultSet]:
         """The reference side of one batch, strictly in order."""
         reference = self.oracle.reference
-        return [reference.execute(job.query) for job in jobs]
+        with obs.span("execute.reference"):
+            return [reference.execute(job.query) for job in jobs]
 
     def run_batch(self, jobs: Sequence[QueryJob]
                   ) -> List["DifferentialOutcome"]:

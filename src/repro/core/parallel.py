@@ -44,12 +44,14 @@ import hashlib
 import multiprocessing
 import queue as queue_module
 import random
+import sys
 import threading
 import time
 import traceback
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.budget import (
     BudgetPolicy,
     budget_policy_from_name,
@@ -279,6 +281,10 @@ class ParallelCampaignConfig:
     # Execution-pipeline batch size inside each differential worker; 1 keeps
     # the strictly serial per-query path.
     pipeline_batch_size: int = 1
+    # Print a live progress line (merged queries/s, novel-label rate, bugs,
+    # phase mix) to stderr at every sync round.  Pure presentation: the
+    # campaign's results are bit-identical with it on or off.
+    live_stats: bool = False
 
 
 @dataclass
@@ -303,6 +309,10 @@ class WorkerReport:
     entries_shipped: int = 0
     broadcast_entries_received: int = 0
     broadcast_entries_suppressed: int = 0
+    # Final cumulative telemetry snapshot of this worker's metrics registry
+    # (:meth:`repro.obs.MetricsSnapshot.to_dict` form), or None when telemetry
+    # is disabled.  A plain dict so the report pickles and JSON-encodes.
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -334,6 +344,10 @@ class ParallelCampaignResult:
     broadcast_entries_suppressed: int = 0
     sync_stats: List[ShardSyncStats] = field(default_factory=list)
     budget_policy: str = "even"
+    # Merged telemetry across all shards (snapshot-dict form), or None when
+    # telemetry was disabled.  Lives *outside* the deterministic summary:
+    # timings vary run to run even though verdicts do not.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def queries_per_second(self) -> float:
@@ -403,9 +417,14 @@ class SyncTransport:
         """Announce this worker to the coordinator before the campaign starts."""
         raise NotImplementedError
 
-    def sync(self, shard_id: int, hour: int,
-             entries: List[IndexEntry]) -> SyncBroadcast:
-        """Ship one batch and block until the round's broadcast arrives."""
+    def sync(self, shard_id: int, hour: int, entries: List[IndexEntry],
+             telemetry: Optional[Dict[str, Any]] = None) -> SyncBroadcast:
+        """Ship one batch and block until the round's broadcast arrives.
+
+        *telemetry* is the worker's cumulative metrics snapshot (dict form),
+        carried piggyback for the coordinator's live stats; it never
+        influences the broadcast content.
+        """
         raise NotImplementedError
 
     def report(self, report: "WorkerReport") -> None:
@@ -435,9 +454,9 @@ class LocalSyncTransport(SyncTransport):
         # The local coordinator created the shards itself; nothing to announce.
         return None
 
-    def sync(self, shard_id: int, hour: int,
-             entries: List[IndexEntry]) -> SyncBroadcast:
-        self._to_coordinator.put(("sync", shard_id, hour, entries))
+    def sync(self, shard_id: int, hour: int, entries: List[IndexEntry],
+             telemetry: Optional[Dict[str, Any]] = None) -> SyncBroadcast:
+        self._to_coordinator.put(("sync", shard_id, hour, entries, telemetry))
         # Barrier: block until the coordinator broadcasts the other workers'
         # entries for this round.  The barrier has no fixed deadline of its
         # own — how long it takes depends on the *slowest peer's* hour, which
@@ -485,17 +504,25 @@ def _make_worker_transport(transport_spec: Tuple) -> SyncTransport:
 
 
 def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
-                             transport: SyncTransport) -> WorkerReport:
+                             transport: SyncTransport,
+                             live_stats: bool = False) -> WorkerReport:
     """Run one shard's campaign, synchronizing through *transport*.
 
     This is the transport-blind worker body shared by the in-process pool's
     worker processes and the distributed CLI client.  It does not send the
     final report itself (callers manage heartbeat shutdown ordering); it
     returns the completed :class:`WorkerReport`.
+
+    With *live_stats* a progress line is printed to stderr at every hour
+    boundary (the distributed client's ``--live-stats``); the pool's
+    coordinator renders its own merged line instead.
     """
     import numpy as np
 
-    tester, tool, dbms = _build_shard_tester(spec)
+    registry = obs.get_registry()
+    run_start = time.perf_counter()
+    with obs.span("setup"):
+        tester, tool, dbms = _build_shard_tester(spec)
     index = _shard_index(tester)
     records: List[HourRecord] = []
     watermark = [len(index)] if index is not None else [0]
@@ -515,6 +542,16 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
 
     def on_hour(record: HourRecord) -> None:
         records.append(record)
+        if live_stats:
+            print(
+                obs.render_live_line(
+                    registry.snapshot(),
+                    time.perf_counter() - run_start,
+                    hour=record.hour,
+                    prefix=f"shard {spec.shard_id}",
+                ),
+                file=sys.stderr, flush=True,
+            )
         if record.hour not in sync_hours:
             return
         entries: List[IndexEntry] = []
@@ -524,8 +561,12 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
                 for vector, label in index.entries_since(watermark[0])
             ]
         # Bulk-synchronous rounds keep the run deterministic — local state
-        # never depends on timing, only on the round's merged content.
-        broadcast = transport.sync(spec.shard_id, record.hour, entries)
+        # never depends on timing, only on the round's merged content.  The
+        # cumulative telemetry snapshot rides piggyback on the sync payload so
+        # the coordinator can render merged live stats mid-campaign.
+        with obs.span("sync"):
+            broadcast = transport.sync(spec.shard_id, record.hour, entries,
+                                       telemetry=obs.snapshot_dict())
         shipped[0] += len(entries)
         received[0] += len(broadcast.entries)
         suppressed[0] += broadcast.suppressed
@@ -554,6 +595,11 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
             (vector.tolist(), label)
             for vector, label in index.entries_since(watermark[0])
         ]
+    # The phase-coverage denominator: one observation of this shard's total
+    # wall-clock, merged across shards by summing (histogram merge).
+    registry.histogram("worker.run.seconds",
+                       buckets=(1.0, 10.0, 60.0, 600.0, 3600.0)).observe(
+        time.perf_counter() - run_start)
     return WorkerReport(
         shard_id=spec.shard_id,
         tool=tool,
@@ -567,12 +613,14 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
         broadcast_entries_received=received[0],
         broadcast_entries_suppressed=suppressed[0],
         hourly_budgets=hourly_budgets,
+        telemetry=obs.snapshot_dict(),
     )
 
 
 def run_shard_with_heartbeat(spec: ShardSpec, sync_hours: Sequence[int],
                              transport: SyncTransport,
-                             heartbeat_interval: float) -> WorkerReport:
+                             heartbeat_interval: float,
+                             live_stats: bool = False) -> WorkerReport:
     """Run one shard with a liveness heartbeat ticking around it.
 
     The heartbeat runs on a daemon thread and keeps ticking through the DSG
@@ -598,7 +646,8 @@ def run_shard_with_heartbeat(spec: ShardSpec, sync_hours: Sequence[int],
                                  name=f"tqs-heartbeat-{spec.shard_id}")
     heartbeat.start()
     try:
-        return run_shard_with_transport(spec, sync_hours, transport)
+        return run_shard_with_transport(spec, sync_hours, transport,
+                                        live_stats=live_stats)
     finally:
         stop_heartbeat.set()
 
@@ -606,6 +655,9 @@ def run_shard_with_heartbeat(spec: ShardSpec, sync_hours: Sequence[int],
 def _worker_main(spec: ShardSpec, sync_hours: Tuple[int, ...],
                  heartbeat_interval: float, transport_spec: Tuple) -> None:
     """Worker process body: run one shard, synchronizing at hour boundaries."""
+    # Fork-started workers inherit the parent's registry contents; a fresh
+    # registry keeps each shard's telemetry snapshot self-contained.
+    obs.reset_registry()
     transport: Optional[SyncTransport] = None
     try:
         transport = _make_worker_transport(transport_spec)
@@ -743,6 +795,10 @@ def finalize_parallel_result(reports: Sequence[WorkerReport],
     """
     merged, shard_results = merge_worker_reports(list(reports))
     ordered = sorted(reports, key=lambda report: report.shard_id)
+    snapshots = [obs.MetricsSnapshot.from_dict(report.telemetry)
+                 for report in ordered if report.telemetry]
+    telemetry = (obs.MetricsSnapshot.merge_all(snapshots).to_dict()
+                 if snapshots else None)
     sync_stats = [
         ShardSyncStats(
             shard_id=report.shard_id,
@@ -766,6 +822,7 @@ def finalize_parallel_result(reports: Sequence[WorkerReport],
         broadcast_entries_suppressed=coordinator.broadcast_entries_suppressed,
         sync_stats=sync_stats,
         budget_policy=budget_policy,
+        telemetry=telemetry,
     )
 
 
@@ -835,6 +892,7 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
     start = time.perf_counter()
     for process in processes:
         process.start()
+    round_telemetry: Dict[int, Dict[str, Any]] = {}
     try:
         for round_hour in sync_hours:
             batches: Dict[int, List[IndexEntry]] = {}
@@ -856,9 +914,23 @@ def run_parallel_shards(shards: Sequence[ShardSpec],
                         f"got {message[0]}@{message[2] if len(message) > 2 else '?'}"
                     )
                 batches[message[1]] = message[3]
+                if len(message) > 4 and message[4]:
+                    round_telemetry[message[1]] = message[4]
             broadcasts = coordinator.complete_round(batches)
             for spec in shards:
                 broadcast_queues[spec.shard_id].put(broadcasts[spec.shard_id])
+            if parallel.live_stats and round_telemetry:
+                merged_snapshot = obs.MetricsSnapshot.merge_all(
+                    obs.MetricsSnapshot.from_dict(snapshot)
+                    for snapshot in round_telemetry.values()
+                )
+                print(
+                    obs.render_live_line(merged_snapshot,
+                                         time.perf_counter() - start,
+                                         hour=round_hour,
+                                         prefix=f"pool[{len(shards)}w]"),
+                    file=sys.stderr, flush=True,
+                )
         while len(reports) < len(shards):
             message = _receive(result_queue, processes, parallel.worker_timeout,
                                pending=lambda: [
@@ -1097,6 +1169,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="execution-pipeline batch size inside each "
                              "differential worker; >1 overlaps target and "
                              "reference execution (default: 1)")
+    parser.add_argument("--live-stats", action="store_true",
+                        help="print a merged progress line (queries/s, novel "
+                             "labels, bugs, phase mix) to stderr at every "
+                             "sync round")
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
@@ -1116,6 +1192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prune_broadcasts=not args.no_prune,
         budget_policy=args.budget_policy,
         pipeline_batch_size=args.batch_size,
+        live_stats=args.live_stats,
     )
     if args.kind == "tqs":
         outcome = run_parallel_tqs_campaign(dialect_by_name(args.dialect),
@@ -1151,6 +1228,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"broadcasts: {outcome.broadcast_entries_sent} entries sent, "
           f"{outcome.broadcast_entries_suppressed} suppressed by novelty "
           f"pruning")
+    if outcome.telemetry is not None:
+        print()
+        print(obs.render_phase_breakdown(
+            obs.MetricsSnapshot.from_dict(outcome.telemetry)))
     return 0
 
 

@@ -19,6 +19,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.bug_report import BugIncident, BugLog
 from repro.core.reduction import QueryReducer
 from repro.dsg.ground_truth import GroundTruth
@@ -173,31 +174,36 @@ class TQS:
 
     def run_iteration(self) -> IterationOutcome:
         """One pass through lines 7-15 of Algorithm 1."""
-        query = self._generate()
-        self.queries_generated += 1
-        graph = self.graph_builder.build(query)
-        label = graph.canonical_label()
-        novel = self.diversity.add_label(label)
-        if self.kqe is not None and self.config.use_kqe:
-            self.kqe.register(query)
-        transformed = self.dsg.transform_query(query)
-        reports = [
-            self.engine.execute_with_report(query, item.hints) for item in transformed
-        ]
+        with obs.span("generate"):
+            query = self._generate()
+            self.queries_generated += 1
+            graph = self.graph_builder.build(query)
+            label = graph.canonical_label()
+            novel = self.diversity.add_label(label)
+            if self.kqe is not None and self.config.use_kqe:
+                self.kqe.register(query)
+            transformed = self.dsg.transform_query(query)
+        with obs.span("execute.target"):
+            reports = [
+                self.engine.execute_with_report(query, item.hints)
+                for item in transformed
+            ]
         self.queries_executed += len(reports)
-        if self.config.use_ground_truth:
-            ground_truth = self.dsg.ground_truth(query)
-            incidents = self._verify_with_ground_truth(query, label, reports, ground_truth)
-        else:
-            incidents = self._verify_differentially(query, label, reports)
-        if incidents and self.config.reduce_failures:
-            minimized_sql = self._minimize(query, incidents[0])
-            if minimized_sql is not None:
-                incidents[0] = BugIncident(
-                    **{**incidents[0].__dict__, "minimized_sql": minimized_sql}
-                )
-        for incident in incidents:
-            self.bug_log.record(incident)
+        with obs.span("judge"):
+            if self.config.use_ground_truth:
+                ground_truth = self.dsg.ground_truth(query)
+                incidents = self._verify_with_ground_truth(query, label, reports,
+                                                           ground_truth)
+            else:
+                incidents = self._verify_differentially(query, label, reports)
+            if incidents and self.config.reduce_failures:
+                minimized_sql = self._minimize(query, incidents[0])
+                if minimized_sql is not None:
+                    incidents[0] = BugIncident(
+                        **{**incidents[0].__dict__, "minimized_sql": minimized_sql}
+                    )
+            for incident in incidents:
+                self.bug_log.record(incident)
         return IterationOutcome(
             query=query,
             canonical_label=label,

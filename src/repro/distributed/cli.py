@@ -22,9 +22,17 @@ Four subcommands:
     truncations, flipped MAC bits, wrong keys) at a live server and verify it
     keeps serving — the protocol-robustness contract, checkable in CI.
 
+``stats``
+    Query a live server's STATS verb over an authenticated connection and
+    print its health payload (registration/round progress, frame rejections,
+    per-shard last-heard ages) plus the merged telemetry phase breakdown.
+
 ``serve`` and ``client`` default to protocol v2 (``--protocol json``:
 HMAC-authenticated JSON frames over a shared ``--auth-key-file``); pass
 ``--protocol pickle`` only for legacy deployments on trusted hosts.
+``serve`` additionally takes ``--live-stats`` (periodic one-line progress on
+stderr), ``--metrics-addr HOST:PORT`` (a Prometheus text endpoint) and
+``--telemetry-output`` (dump the final merged telemetry snapshot as JSON).
 """
 
 from __future__ import annotations
@@ -32,8 +40,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
+
+from repro import obs
 
 from repro.core.budget import budget_policy_from_name
 from repro.core.campaign import CampaignConfig
@@ -179,6 +190,34 @@ def _campaign_echo(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _parse_metrics_addr(value: str) -> tuple:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--metrics-addr must be HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _live_stats_loop(
+    server: Any, start: float, stop_event: threading.Event, interval: float = 5.0
+) -> None:
+    """Print one progress line per *interval* while the campaign runs."""
+    while not stop_event.wait(interval):
+        payload = server.stats_payload()
+        elapsed = time.perf_counter() - start
+        telemetry = payload.get("telemetry")
+        if telemetry:
+            line = obs.render_live_line(
+                obs.MetricsSnapshot.from_dict(telemetry), elapsed, prefix="server"
+            )
+        else:
+            line = (
+                f"server [{elapsed:6.1f}s] "
+                f"{len(payload['registered_shards'])}/{payload['expected_shards']} "
+                "shards registered, no telemetry yet"
+            )
+        print(line, file=sys.stderr, flush=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import (
         parallel_result_to_dict,
@@ -218,6 +257,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     start = time.perf_counter()
+    metrics_http = None
+    if args.metrics_addr:
+        from repro.obs import MetricsHTTPServer
+
+        mhost, mport = _parse_metrics_addr(args.metrics_addr)
+        metrics_http = MetricsHTTPServer(mhost, mport, server.render_prometheus)
+        metrics_http.start()
+        bound_host, bound_port = metrics_http.address
+        print(
+            f"prometheus metrics at http://{bound_host}:{bound_port}/metrics",
+            flush=True,
+        )
+    stop_live = threading.Event()
+    live_thread: Optional[threading.Thread] = None
+    if args.live_stats:
+        live_thread = threading.Thread(
+            target=_live_stats_loop,
+            args=(server, start, stop_live),
+            name="serve-live-stats",
+            daemon=True,
+        )
+        live_thread.start()
     try:
         completed = server.wait(args.serve_timeout)
         if not completed:
@@ -235,9 +296,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             transport="tcp",
             budget_policy=args.budget_policy,
         )
+        server_stats = server.stats_payload()
     finally:
+        stop_live.set()
+        if live_thread is not None:
+            live_thread.join(timeout=1.0)
+        if metrics_http is not None:
+            metrics_http.stop()
         server.stop()
     print(render_worker_pool(outcome))
+    if outcome.telemetry is not None:
+        print()
+        print(
+            obs.render_phase_breakdown(obs.MetricsSnapshot.from_dict(outcome.telemetry))
+        )
     print(
         f"broadcasts: {outcome.broadcast_entries_sent} entries sent, "
         f"{outcome.broadcast_entries_suppressed} suppressed by novelty pruning"
@@ -265,6 +337,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Keep stdout machine-checkable even without an output file.
         summary = parallel_result_to_dict(outcome, campaign=campaign)
         print(json.dumps(summary["summary"]["merged"]["samples"][-1], sort_keys=True))
+    if args.telemetry_output:
+        with open(args.telemetry_output, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"server": server_stats, "telemetry": outcome.telemetry},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"telemetry snapshot written to {args.telemetry_output}")
     return 0
 
 
@@ -278,6 +360,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         io_timeout=args.io_timeout,
         protocol=args.protocol,
         auth_key=_auth_key(args),
+        live_stats=args.live_stats,
     )
     final = report.samples[-1]
     print(
@@ -377,6 +460,41 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.distributed.client import fetch_stats
+
+    stats = fetch_stats(
+        args.host,
+        args.port,
+        connect_timeout=args.connect_timeout,
+        protocol=args.protocol,
+        auth_key=_auth_key(args),
+    )
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    registered = stats.get("registered_shards") or []
+    print(
+        f"index server: {len(registered)}/{stats.get('expected_shards')} shards "
+        f"registered, {stats.get('reports_received')} reports, "
+        f"{stats.get('rounds_completed')}/{stats.get('sync_rounds_scheduled')} "
+        "sync rounds completed"
+    )
+    print(
+        f"frames rejected: {stats.get('frames_rejected', 0)}; "
+        f"evictions: {stats.get('eviction_count', 0)}; "
+        f"completed: {stats.get('completed')}"
+    )
+    ages = stats.get("shard_last_heard_seconds") or {}
+    for sid in sorted(ages, key=int):
+        print(f"  shard {sid}: last heard {ages[sid]:.1f}s ago")
+    telemetry = stats.get("telemetry")
+    if telemetry:
+        print()
+        print(obs.render_phase_breakdown(obs.MetricsSnapshot.from_dict(telemetry)))
+    return 0
+
+
 def _diff_summaries(recorded: Any, local: Any, path: str = "") -> List[str]:
     """Human-readable paths at which two summary trees disagree."""
     if isinstance(recorded, dict) and isinstance(local, dict):
@@ -436,6 +554,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument(
         "--output", default="", help="write the merged campaign JSON to this path"
     )
+    serve.add_argument(
+        "--live-stats",
+        action="store_true",
+        help="print a one-line progress summary (merged worker telemetry) to "
+        "stderr every few seconds while the campaign runs",
+    )
+    serve.add_argument(
+        "--metrics-addr",
+        default="",
+        help="serve Prometheus text metrics over HTTP at HOST:PORT for the "
+        "campaign's duration (port 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--telemetry-output",
+        default="",
+        help="write the final server stats payload and merged telemetry "
+        "snapshot as JSON to this path",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = subparsers.add_parser("client", help="run one campaign shard")
@@ -453,6 +589,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=600.0,
         help="socket timeout for sync barriers (default: 600)",
+    )
+    client.add_argument(
+        "--live-stats",
+        action="store_true",
+        help="print a one-line progress summary to stderr after every "
+        "campaign hour",
     )
     client.set_defaults(func=_cmd_client)
 
@@ -496,6 +638,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="seed of the deterministic malformed-frame stream (default: 0)",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="query a live server's STATS verb and print health + telemetry",
+    )
+    _add_protocol_arguments(stats)
+    stats.add_argument("--host", default="127.0.0.1", help="server address")
+    stats.add_argument("--port", type=int, required=True, help="server port")
+    stats.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the connection (default: 10)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw stats payload as JSON instead of the summary",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -21,7 +21,7 @@ import socket
 import threading
 import time
 import traceback
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distributed import protocol
 from repro.distributed.protocol import (
@@ -138,11 +138,27 @@ class RemoteSyncTransport:
         return None
 
     def sync(
-        self, shard_id: int, hour: int, entries: List[IndexEntry]
+        self,
+        shard_id: int,
+        hour: int,
+        entries: List[IndexEntry],
+        telemetry: Optional[Dict[str, Any]] = None,
     ) -> SyncBroadcast:
-        reply = self._request((protocol.SYNC, shard_id, hour, entries), unbounded=True)
+        message = (
+            (protocol.SYNC, shard_id, hour, entries)
+            if telemetry is None
+            else (protocol.SYNC, shard_id, hour, entries, telemetry)
+        )
+        reply = self._request(message, unbounded=True)
         if reply[0] != protocol.BROADCAST:
             raise TransportError(f"unexpected sync reply {reply[0]!r}")
+        return reply[1]
+
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the server's stats payload (health + merged telemetry)."""
+        reply = self._request((protocol.STATS,))
+        if reply[0] != protocol.STATS_OK:
+            raise TransportError(f"unexpected stats reply {reply[0]!r}")
         return reply[1]
 
     def report(self, report) -> None:
@@ -191,6 +207,28 @@ def request_shutdown(
         transport.close()
 
 
+def fetch_stats(
+    host: str,
+    port: int,
+    connect_timeout: float = 10.0,
+    protocol: str = "json",
+    auth_key: Optional[bytes] = None,
+) -> Dict[str, Any]:
+    """Fetch a running index server's stats payload (the STATS verb)."""
+    transport = RemoteSyncTransport(
+        host,
+        port,
+        connect_timeout=connect_timeout,
+        io_timeout=30.0,
+        protocol=protocol,
+        auth_key=auth_key,
+    )
+    try:
+        return transport.stats()
+    finally:
+        transport.close()
+
+
 def run_remote_client(
     host: str,
     port: int,
@@ -199,6 +237,7 @@ def run_remote_client(
     heartbeat_interval: float = 10.0,
     protocol: str = "json",
     auth_key: Optional[bytes] = None,
+    live_stats: bool = False,
 ):
     """Run one full remote worker against an index server.
 
@@ -223,7 +262,7 @@ def run_remote_client(
         spec, sync_hours = assignment
         shard_id = spec.shard_id
         report = run_shard_with_heartbeat(
-            spec, sync_hours, transport, heartbeat_interval
+            spec, sync_hours, transport, heartbeat_interval, live_stats=live_stats
         )
         transport.report(report)
         return report

@@ -61,6 +61,7 @@ TICK = "tick"
 REPORT = "report"
 ERROR = "error"
 SHUTDOWN = "shutdown"
+STATS = "stats"
 
 # Server -> client replies.
 HELLO_OK = "hello-ok"
@@ -68,6 +69,7 @@ REGISTERED = "registered"
 BROADCAST = "broadcast"
 OK = "ok"
 ABORT = "abort"
+STATS_OK = "stats-ok"
 
 # A frame bigger than this is a corrupt length prefix, not a real batch: even a
 # pathological campaign ships a few thousand 64-float embeddings per round.

@@ -40,8 +40,9 @@ import socket
 import socketserver
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.budget import BudgetPolicy
 from repro.core.parallel import ShardSpec, WorkerReport
 from repro.distributed import protocol
@@ -198,6 +199,11 @@ class IndexServer:
         self._round_pending_fetch: Dict[int, set] = {}
         self._round_opened: Dict[int, float] = {}
         self._completed_hours: set = set()
+        self._rounds_completed = 0
+        # Latest cumulative telemetry snapshot per shard (dict form), fed by
+        # the SYNC piggyback mid-campaign and replaced by the REPORT's final
+        # snapshot; merged on demand for STATS / Prometheus exposition.
+        self._telemetry: Dict[int, Dict[str, Any]] = {}
         self._cond = threading.Condition()
         self._done = threading.Event()
         self._failure: Optional[str] = None
@@ -270,6 +276,68 @@ class IndexServer:
 
     def _live_expected(self) -> int:
         return self.expected - len(self._evicted)
+
+    # ----------------------------------------------------------------- stats
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot of server health plus merged worker telemetry.
+
+        Served to the authenticated STATS verb and the Prometheus endpoint so
+        barrier-stall debugging (who went silent, how many frames were
+        rejected, which shards were evicted) no longer needs log scraping.
+        """
+        with self._cond:
+            now = time.monotonic()
+            merged = self._merged_telemetry_locked()
+            return {
+                "protocol": self.protocol,
+                "expected_shards": self.expected,
+                "registered_shards": sorted(self._registered),
+                "reports_received": len(self.reports),
+                "rounds_completed": self._rounds_completed,
+                "sync_rounds_scheduled": len(self.sync_hours),
+                "frames_rejected": self.frames_rejected,
+                "eviction_count": len(self._evicted),
+                "evictions": {
+                    str(sid): reason for sid, reason in sorted(self._evicted.items())
+                },
+                "shard_last_heard_seconds": {
+                    str(sid): round(now - heard, 3)
+                    for sid, heard in sorted(self._shard_activity.items())
+                },
+                "completed": self._completed_locked(),
+                "failure": self._failure,
+                "telemetry": merged.to_dict() if merged is not None else None,
+            }
+
+    def _merged_telemetry_locked(self) -> Optional[obs.MetricsSnapshot]:
+        if not self._telemetry:
+            return None
+        return obs.MetricsSnapshot.merge_all(
+            obs.MetricsSnapshot.from_dict(snapshot)
+            for _, snapshot in sorted(self._telemetry.items())
+        )
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition for ``--metrics-addr`` scrapes."""
+        stats = self.stats_payload()
+        snapshot = (
+            obs.MetricsSnapshot.from_dict(stats["telemetry"])
+            if stats["telemetry"] is not None
+            else None
+        )
+        return obs.render_prometheus(
+            snapshot,
+            extra_gauges={
+                "server.frames_rejected": stats["frames_rejected"],
+                "server.reports_received": stats["reports_received"],
+                "server.registered_shards": len(stats["registered_shards"]),
+                "server.expected_shards": stats["expected_shards"],
+                "server.rounds_completed": stats["rounds_completed"],
+                "server.evictions": stats["eviction_count"],
+                "server.completed": int(stats["completed"]),
+            },
+        )
 
     def _live_shard_ids(self) -> List[int]:
         return [sid for sid in self._shards if sid not in self._evicted]
@@ -414,8 +482,16 @@ class IndexServer:
             self._touch(message[1] if len(message) > 1 else None)
             return (protocol.OK,), True
         if verb == protocol.SYNC:
-            _, shard_id, hour, entries = message
-            return self._sync(shard_id, hour, entries), True
+            # 4-tuple from pre-telemetry peers, 5-tuple with the piggybacked
+            # metrics snapshot; the barrier semantics are identical.
+            shard_id, hour, entries = message[1], message[2], message[3]
+            telemetry = message[4] if len(message) > 4 else None
+            return self._sync(shard_id, hour, entries, telemetry), True
+        if verb == protocol.STATS:
+            # Read-only and allowed from any authenticated connection (the
+            # operator's stats CLI never registers as a shard).
+            self._touch()
+            return (protocol.STATS_OK, self.stats_payload()), True
         if verb == protocol.REPORT:
             return self._report(message[1]), True
         if verb == protocol.ERROR:
@@ -480,9 +556,17 @@ class IndexServer:
             self._touch_locked(shard_id)
             return (protocol.REGISTERED, spec, self.sync_hours)
 
-    def _sync(self, shard_id: int, hour: int, entries: List[IndexEntry]):
+    def _sync(
+        self,
+        shard_id: int,
+        hour: int,
+        entries: List[IndexEntry],
+        telemetry: Optional[Dict[str, Any]] = None,
+    ):
         with self._cond:
             self._touch_locked(shard_id)
+            if telemetry:
+                self._telemetry[shard_id] = telemetry
             if self._failure is not None:
                 return (protocol.ABORT, self._failure)
             if shard_id in self._evicted:
@@ -546,6 +630,7 @@ class IndexServer:
             return
         self._round_broadcasts[hour] = self.coordinator.complete_round(batches)
         self._round_pending_fetch[hour] = set(batches)
+        self._rounds_completed += 1
         self._cond.notify_all()
 
     def _cleanup_round_locked(self, hour: int) -> None:
@@ -580,6 +665,8 @@ class IndexServer:
                 return (protocol.ABORT, self._failure)
             self.coordinator.absorb(report.unsynced_entries)
             self.reports[report.shard_id] = report
+            if report.telemetry:
+                self._telemetry[report.shard_id] = report.telemetry
             if self._completed_locked():
                 self._done.set()
                 self._cond.notify_all()

@@ -37,6 +37,8 @@ from repro.distributed.protocol import (
     REGISTERED,
     REPORT,
     SHUTDOWN,
+    STATS,
+    STATS_OK,
     SYNC,
     TICK,
     IndexEntry,
@@ -293,6 +295,7 @@ def encode_worker_report(report: Any) -> Dict[str, Any]:
         "entries_shipped": report.entries_shipped,
         "broadcast_entries_received": report.broadcast_entries_received,
         "broadcast_entries_suppressed": report.broadcast_entries_suppressed,
+        "telemetry": encode_snapshot(report.telemetry),
     }
 
 
@@ -330,7 +333,88 @@ def decode_worker_report(value: Any) -> Any:
         broadcast_entries_suppressed=_int_field(
             obj, "broadcast_entries_suppressed", where
         ),
+        # Tolerate reports from peers predating the telemetry subsystem.
+        telemetry=decode_snapshot(obj.get("telemetry"), f"{where} telemetry"),
     )
+
+
+# --------------------------------------------------------- telemetry codecs
+
+
+def _validate_snapshot(value: Any, where: str = "telemetry snapshot") -> Dict[str, Any]:
+    """Validate one metrics-snapshot dict into its canonical wire form.
+
+    The schema matches :meth:`repro.obs.MetricsSnapshot.to_dict`: integer
+    counters, float gauges, and histograms as ``{bounds, counts, sum, count}``
+    with one more count than bounds (the +Inf overflow bucket).
+    """
+    obj = _obj(value, where)
+    counters = {
+        _str(key, f"{where} counter name"): _int(val, f"{where} counter value")
+        for key, val in _obj(_get(obj, "counters", where), f"{where} counters").items()
+    }
+    gauges = {
+        _str(key, f"{where} gauge name"): _float(val, f"{where} gauge value")
+        for key, val in _obj(_get(obj, "gauges", where), f"{where} gauges").items()
+    }
+    histograms: Dict[str, Any] = {}
+    raw = _obj(_get(obj, "histograms", where), f"{where} histograms")
+    for key, state in raw.items():
+        name = _str(key, f"{where} histogram name")
+        state_obj = _obj(state, f"{where} histogram {name!r}")
+        bounds = [
+            _float(bound, f"{where} histogram bound")
+            for bound in _list(_get(state_obj, "bounds", where), f"{where} bounds")
+        ]
+        counts = [
+            _int(count, f"{where} histogram bucket count")
+            for count in _list(_get(state_obj, "counts", where), f"{where} counts")
+        ]
+        if len(counts) != len(bounds) + 1:
+            _fail(where, f"histogram {name!r} needs len(bounds)+1 counts")
+        histograms[name] = {
+            "bounds": bounds,
+            "counts": counts,
+            "sum": _float(_get(state_obj, "sum", where), f"{where} histogram sum"),
+            "count": _int(_get(state_obj, "count", where), f"{where} histogram count"),
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def encode_snapshot(value: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """A metrics snapshot dict for the wire (validated; None passes through)."""
+    return None if value is None else _validate_snapshot(value)
+
+
+def decode_snapshot(
+    value: Any, where: str = "telemetry snapshot"
+) -> Optional[Dict[str, Any]]:
+    return None if value is None else _validate_snapshot(value, where)
+
+
+def _json_safe(value: Any, where: str, depth: int = 0) -> Any:
+    """Allow exactly the JSON value domain, with bounded nesting."""
+    if depth > 12:
+        _fail(where, "nesting too deep")
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, list):
+        return [_json_safe(item, where, depth + 1) for item in value]
+    if isinstance(value, dict):
+        return {
+            _str(key, f"{where} key"): _json_safe(item, where, depth + 1)
+            for key, item in value.items()
+        }
+    _fail(where, f"unsupported type {type(value).__name__}")
+
+
+def encode_stats(value: Any) -> Dict[str, Any]:
+    """The STATS reply payload: an arbitrary (but JSON-only) stats object."""
+    return _obj(_json_safe(value, "stats payload"), "stats payload")
+
+
+def decode_stats(value: Any) -> Dict[str, Any]:
+    return _obj(_json_safe(value, "stats payload"), "stats payload")
 
 
 # ------------------------------------------------------------ message codecs
@@ -348,12 +432,17 @@ def encode_message(message: Any) -> Dict[str, Any]:
     if verb == REGISTER:
         return {"verb": verb, "shard_id": message[1]}
     if verb == SYNC:
-        return {
+        obj = {
             "verb": verb,
             "shard_id": message[1],
             "hour": message[2],
             "entries": encode_entries(message[3]),
         }
+        # Optional telemetry piggyback; omitted entirely when absent so the
+        # frame stays byte-identical to pre-telemetry campaigns.
+        if len(message) > 4 and message[4] is not None:
+            obj["telemetry"] = encode_snapshot(message[4])
+        return obj
     if verb == TICK:
         return {"verb": verb, "shard_id": message[1]}
     if verb == REPORT:
@@ -362,6 +451,10 @@ def encode_message(message: Any) -> Dict[str, Any]:
         return {"verb": verb, "shard_id": message[1], "text": message[2]}
     if verb == SHUTDOWN:
         return {"verb": verb}
+    if verb == STATS:
+        return {"verb": verb}
+    if verb == STATS_OK:
+        return {"verb": verb, "stats": encode_stats(message[1])}
     if verb == REGISTERED:
         spec = message[1]
         return {
@@ -393,12 +486,15 @@ def decode_message(obj: Any) -> Tuple[Any, ...]:
     if verb == REGISTER:
         return (verb, _opt_int(_get(obj, "shard_id", verb), "register shard_id"))
     if verb == SYNC:
-        return (
+        base = (
             verb,
             _int(_get(obj, "shard_id", verb), "sync shard_id"),
             _int(_get(obj, "hour", verb), "sync hour"),
             decode_entries(_get(obj, "entries", verb), "sync entries"),
         )
+        if obj.get("telemetry") is not None:
+            return base + (decode_snapshot(obj["telemetry"], "sync telemetry"),)
+        return base
     if verb == TICK:
         return (verb, _int(_get(obj, "shard_id", verb), "tick shard_id"))
     if verb == REPORT:
@@ -411,6 +507,10 @@ def decode_message(obj: Any) -> Tuple[Any, ...]:
         )
     if verb == SHUTDOWN:
         return (verb,)
+    if verb == STATS:
+        return (verb,)
+    if verb == STATS_OK:
+        return (verb, decode_stats(_get(obj, "stats", verb)))
     if verb == REGISTERED:
         spec = _get(obj, "spec", verb)
         hours = _list(_get(obj, "sync_hours", verb), "registered sync_hours")

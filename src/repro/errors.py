@@ -68,6 +68,10 @@ class ProtocolError(TransportError):
     """
 
 
+class TelemetryError(ReproError):
+    """Raised for invalid metric definitions or incompatible snapshot merges."""
+
+
 class BackendError(ReproError):
     """Raised when a real-DBMS backend adapter fails (connection, load, execute)."""
 

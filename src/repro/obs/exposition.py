@@ -1,0 +1,169 @@
+"""Prometheus text exposition for :class:`~repro.obs.registry.MetricsSnapshot`.
+
+Renders the 0.0.4 text format from a snapshot (plus optional host-level extra
+gauges, e.g. the index server's frame-rejection counter) and serves it over a
+minimal stdlib HTTP endpoint for ``--metrics-addr``.  Metric names are
+sanitized ``.`` -> ``_`` and prefixed ``tqs_``; histograms render cumulative
+``_bucket{le=...}`` series the way Prometheus expects.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import MetricsSnapshot, parse_key
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PREFIX = "tqs_"
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name.replace(".", "_")
+    )
+    return _PREFIX + cleaned
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{labels[key]}"' for key in sorted(labels)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    snapshot: Optional[MetricsSnapshot],
+    extra_gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render a snapshot (and optional scalar extras) as Prometheus text.
+
+    *extra_gauges* maps raw metric names (dots allowed, no labels) to values —
+    the hook for server-level series like ``server.frames_rejected`` that live
+    outside any worker registry.
+    """
+    lines: List[str] = []
+
+    counters: List[Tuple[str, Mapping[str, str], int]] = []
+    gauges: List[Tuple[str, Mapping[str, str], float]] = []
+    if snapshot is not None:
+        for key, value in snapshot.counters.items():
+            name, labels = parse_key(key)
+            counters.append((name, labels, value))
+        for key, value in snapshot.gauges.items():
+            name, labels = parse_key(key)
+            gauges.append((name, labels, value))
+
+    for family in sorted({name for name, _, _ in counters}):
+        prom = _prom_name(family) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        for name, labels, value in sorted(
+            (entry for entry in counters if entry[0] == family),
+            key=lambda entry: sorted(entry[1].items()),
+        ):
+            lines.append(f"{prom}{_prom_labels(labels)} {value}")
+
+    for family in sorted({name for name, _, _ in gauges}):
+        prom = _prom_name(family)
+        lines.append(f"# TYPE {prom} gauge")
+        for name, labels, value in sorted(
+            (entry for entry in gauges if entry[0] == family),
+            key=lambda entry: sorted(entry[1].items()),
+        ):
+            lines.append(f"{prom}{_prom_labels(labels)} {_format_value(value)}")
+
+    if snapshot is not None:
+        histograms: List[Tuple[str, Mapping[str, str], object]] = []
+        for key, state in snapshot.histograms.items():
+            name, labels = parse_key(key)
+            histograms.append((name, labels, state))
+        for family in sorted({name for name, _, _ in histograms}):
+            prom = _prom_name(family)
+            lines.append(f"# TYPE {prom} histogram")
+            for name, labels, state in sorted(
+                (entry for entry in histograms if entry[0] == family),
+                key=lambda entry: sorted(entry[1].items()),
+            ):
+                cumulative = 0
+                for bound, count in zip(state.bounds, state.counts):
+                    cumulative += count
+                    le = _prom_labels(labels, extra=f'le="{_format_value(bound)}"')
+                    lines.append(f"{prom}_bucket{le} {cumulative}")
+                le = _prom_labels(labels, extra='le="+Inf"')
+                lines.append(f"{prom}_bucket{le} {state.count}")
+                lines.append(
+                    f"{prom}_sum{_prom_labels(labels)} {repr(state.sum)}"
+                )
+                lines.append(f"{prom}_count{_prom_labels(labels)} {state.count}")
+
+    if extra_gauges:
+        for name in sorted(extra_gauges):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(float(extra_gauges[name]))}")
+
+    return "\n".join(lines) + "\n"
+
+
+class MetricsHTTPServer:
+    """A daemon-threaded HTTP endpoint serving Prometheus text on every GET.
+
+    *provider* is called per request and must return the full exposition
+    string; it typically closes over a live stats source (e.g. the index
+    server's :meth:`stats_payload`).
+    """
+
+    def __init__(self, host: str, port: int, provider: Callable[[], str]) -> None:
+        self._provider = provider
+
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                try:
+                    body = outer._provider().encode("utf-8")
+                    status = 200
+                except Exception as exc:  # surface provider bugs to the scraper
+                    body = f"# metrics provider failed: {exc}\n".encode("utf-8")
+                    status = 500
+                self.send_response(status)
+                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # scrapes should not spam the campaign's stderr
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port) — resolves port 0 requests."""
+        return self._server.server_address[0], self._server.server_address[1]
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="obs-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
