@@ -10,6 +10,7 @@ subclass only supplies its own test oracle.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional, Sequence
 
@@ -44,7 +45,11 @@ class BaselineTester:
         """Attach the baseline to a generated database and a target engine."""
         self.dsg = dsg
         self.engine = engine
-        self.rng = random.Random(seed + hash(self.name) % 1000)
+        # Derive the per-tool seed offset from a stable digest: hash(str) is
+        # salted per process, which would give every worker a different RNG.
+        name_digest = hashlib.sha256(self.name.encode("utf-8")).digest()
+        offset = int.from_bytes(name_digest[:4], "big") % 1000
+        self.rng = random.Random(seed + offset)
         self._graph_builder = QueryGraphBuilder(dsg.ndb.schema)
 
     @property

@@ -33,6 +33,7 @@ an in-process engine touched by exactly one thread at a time.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
@@ -45,6 +46,13 @@ from repro.errors import CampaignError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.differential import DifferentialOracle, DifferentialOutcome
     from repro.plan.logical import QuerySpec
+
+#: Lock discipline, enforced by `python -m repro.lint` (CONC001): the lazily
+#: created executor handles may only be touched under ``_lock`` so that a
+#: close() racing a first batch cannot leak a freshly built pool.
+GUARDED_BY = {
+    "ExecutionPipeline": ("_lock", ("_target_pool", "_reference_pool")),
+}
 
 
 @dataclass(frozen=True)
@@ -91,6 +99,7 @@ class ExecutionPipeline:
         self.config = config or PipelineConfig()
         self.batches_executed = 0
         self.queries_pipelined = 0
+        self._lock = threading.Lock()
         self._target_pool: Optional[ThreadPoolExecutor] = None
         self._reference_pool: Optional[ThreadPoolExecutor] = None
 
@@ -105,24 +114,26 @@ class ExecutionPipeline:
 
     def _pools(self) -> tuple:
         """Lazily create the two per-side executors (one thread per backend)."""
-        if self._target_pool is None:
-            self._target_pool = ThreadPoolExecutor(
-                max_workers=self.target_threads,
-                thread_name_prefix="execpipe-target",
-            )
-            self._reference_pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="execpipe-reference"
-            )
-        return self._target_pool, self._reference_pool
+        with self._lock:
+            if self._target_pool is None:
+                self._target_pool = ThreadPoolExecutor(
+                    max_workers=self.target_threads,
+                    thread_name_prefix="execpipe-target",
+                )
+                self._reference_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="execpipe-reference"
+                )
+            return self._target_pool, self._reference_pool
 
     def close(self) -> None:
         """Shut down the worker threads. Idempotent."""
-        if self._target_pool is not None:
-            self._target_pool.shutdown(wait=True)
-            self._target_pool = None
-        if self._reference_pool is not None:
-            self._reference_pool.shutdown(wait=True)
-            self._reference_pool = None
+        with self._lock:
+            target_pool, self._target_pool = self._target_pool, None
+            reference_pool, self._reference_pool = self._reference_pool, None
+        if target_pool is not None:
+            target_pool.shutdown(wait=True)
+        if reference_pool is not None:
+            reference_pool.shutdown(wait=True)
 
     def __enter__(self) -> "ExecutionPipeline":
         return self
@@ -143,7 +154,8 @@ class ExecutionPipeline:
         except BackendError as error:
             return BackendExecution(error=error)
 
-    def _submit_target(self, jobs: Sequence[QueryJob]):
+    def _submit_target(self, target_pool: ThreadPoolExecutor,
+                       jobs: Sequence[QueryJob]):
         """Start the target side of one batch; returns a thunk for the results.
 
         Serial-cursor backends get the whole batch as one
@@ -152,14 +164,13 @@ class ExecutionPipeline:
         ``target_threads`` workers execute (no wrapper task occupying a pool
         slot); collecting futures in submission order keeps results ordered.
         """
-        assert self._target_pool is not None
         backend = self.oracle.backend
         if self.target_threads <= 1 or len(jobs) <= 1:
-            future = self._target_pool.submit(
+            future = target_pool.submit(
                 backend.execute_many, [job.query for job in jobs]
             )
             return future.result
-        futures = [self._target_pool.submit(self._execute_one, job)
+        futures = [target_pool.submit(self._execute_one, job)
                    for job in jobs]
         return lambda: [future.result() for future in futures]
 
@@ -188,8 +199,8 @@ class ExecutionPipeline:
                 executable.append((position, job))
         if executable:
             batch = [job for _, job in executable]
-            _, reference_pool = self._pools()
-            collect_target = self._submit_target(batch)
+            target_pool, reference_pool = self._pools()
+            collect_target = self._submit_target(target_pool, batch)
             reference_future = reference_pool.submit(
                 self._execute_reference, batch
             )

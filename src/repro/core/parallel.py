@@ -640,7 +640,10 @@ def run_shard_with_heartbeat(spec: ShardSpec, sync_hours: Sequence[int],
             try:
                 transport.tick(spec.shard_id)
             except Exception:
-                return  # coordinator gone; the main thread will notice
+                # Coordinator gone; the main thread will notice.  Count the
+                # dropped tick so a flaky transport shows up in telemetry.
+                obs.get_registry().counter("heartbeat.errors").inc()
+                return
 
     heartbeat = threading.Thread(target=_heartbeat, daemon=True,
                                  name=f"tqs-heartbeat-{spec.shard_id}")
@@ -670,7 +673,9 @@ def _worker_main(spec: ShardSpec, sync_hours: Tuple[int, ...],
             try:
                 transport.error(spec.shard_id, traceback.format_exc())
             except Exception:
-                pass
+                # The error channel itself is down; the coordinator's
+                # deadline will catch the dead shard.  Leave a trace.
+                obs.get_registry().counter("worker.error_notify_failures").inc()
     finally:
         if transport is not None:
             transport.close()

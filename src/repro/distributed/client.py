@@ -18,6 +18,7 @@ HELLO version negotiation right after the socket connects — while
 from __future__ import annotations
 
 import socket
+import sys
 import threading
 import time
 import traceback
@@ -271,8 +272,13 @@ def run_remote_client(
             transport.error(
                 -1 if shard_id is None else shard_id, traceback.format_exc()
             )
-        except Exception:
-            pass
+        except Exception as notify_error:
+            # The failure notification could not reach the server; the
+            # original exception still propagates below.
+            print(
+                f"failed to notify server of client failure: {notify_error}",
+                file=sys.stderr,
+            )
         raise
     finally:
         transport.close()

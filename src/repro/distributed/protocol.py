@@ -172,25 +172,10 @@ def recv_frame(sock: socket.socket, allow_eof: bool = False) -> Any:
     """Read one v1 frame; returns the message, or None on clean EOF if allowed.
 
     Unpickles the payload — only ever call this on frames from trusted peers
-    (see the module docstring); protocol v2 never does.
+    (see the module docstring); protocol v2 never does.  Delegates to
+    :class:`PickleFrameCodec`, the single sanctioned home of unpickling.
     """
-    header = _recv_exact(sock, _HEADER.size)
-    if header is None:
-        if allow_eof:
-            return None
-        raise TransportError("connection closed while waiting for a frame")
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise TransportError(
-            f"frame length {length} exceeds {MAX_FRAME_BYTES}; corrupt stream?"
-        )
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        raise TransportError("connection closed between header and payload")
-    try:
-        return pickle.loads(payload)
-    except Exception as exc:
-        raise TransportError(f"cannot unpickle frame: {exc}") from exc
+    return _V1_CODEC.recv(sock, allow_eof)
 
 
 def request(sock: socket.socket, message: Any) -> Any:
@@ -243,7 +228,12 @@ class FrameCodec:
 
 
 class PickleFrameCodec(FrameCodec):
-    """The legacy v1 encoding: length-prefixed pickle, trusted hosts only."""
+    """The legacy v1 encoding: length-prefixed pickle, trusted hosts only.
+
+    This class is the only place in the tree allowed to unpickle bytes
+    (enforced by `python -m repro.lint`, SEC001): unpickling executes
+    arbitrary code, so it stays confined to the HELLO-gated v1 path.
+    """
 
     name = "pickle"
 
@@ -251,7 +241,28 @@ class PickleFrameCodec(FrameCodec):
         send_frame(sock, message)
 
     def recv(self, sock: socket.socket, allow_eof: bool = False) -> Any:
-        return recv_frame(sock, allow_eof)
+        header = _recv_exact(sock, _HEADER.size)
+        if header is None:
+            if allow_eof:
+                return None
+            raise TransportError("connection closed while waiting for a frame")
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame length {length} exceeds {MAX_FRAME_BYTES}; "
+                "corrupt stream?"
+            )
+        payload = _recv_exact(sock, length)
+        if payload is None:
+            raise TransportError("connection closed between header and payload")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise TransportError(f"cannot unpickle frame: {exc}") from exc
+
+
+#: Singleton backing the module-level v1 helpers (`recv_frame`/`request`).
+_V1_CODEC = PickleFrameCodec()
 
 
 class JsonFrameCodec(FrameCodec):

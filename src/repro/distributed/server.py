@@ -56,6 +56,36 @@ from repro.distributed.protocol import (
 )
 from repro.errors import ProtocolError, TransportError
 
+#: Lock discipline, enforced by `python -m repro.lint` (CONC001): every
+#: mutable campaign-state attribute below may only be touched inside
+#: ``with self._cond:`` or in a ``*_locked`` method whose callers hold it.
+GUARDED_BY = {
+    "IndexServer": (
+        "_cond",
+        (
+            "reports",
+            "expected",
+            "frames_rejected",
+            "coordinator",
+            "_shards",
+            "_assignable",
+            "_registered",
+            "_evicted",
+            "_shard_activity",
+            "_round_batches",
+            "_round_broadcasts",
+            "_round_pending_fetch",
+            "_round_opened",
+            "_completed_hours",
+            "_rounds_completed",
+            "_telemetry",
+            "_failure",
+            "_last_activity",
+            "_stopped",
+        ),
+    ),
+}
+
 
 class _TCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
@@ -261,7 +291,7 @@ class IndexServer:
     def _completed_locked(self) -> bool:
         # A campaign with no reports is never complete: evicting or losing
         # the last client leaves nothing to salvage.
-        return bool(self.reports) and len(self.reports) >= self._live_expected()
+        return bool(self.reports) and len(self.reports) >= self._live_expected_locked()
 
     @property
     def evicted(self) -> Dict[int, str]:
@@ -274,7 +304,7 @@ class IndexServer:
         with self._cond:
             return time.monotonic() - self._last_activity
 
-    def _live_expected(self) -> int:
+    def _live_expected_locked(self) -> int:
         return self.expected - len(self._evicted)
 
     # ----------------------------------------------------------------- stats
@@ -339,7 +369,7 @@ class IndexServer:
             },
         )
 
-    def _live_shard_ids(self) -> List[int]:
+    def _live_shard_ids_locked(self) -> List[int]:
         return [sid for sid in self._shards if sid not in self._evicted]
 
     # -------------------------------------------------------------- failures
@@ -415,7 +445,7 @@ class IndexServer:
             pending.discard(shard_id)
             if not pending:
                 self._cleanup_round_locked(hour)
-        if self._live_expected() == 0:
+        if self._live_expected_locked() == 0:
             self._fail_locked("every client was evicted before the campaign completed")
             return
         for hour in list(self._round_batches):
@@ -443,7 +473,7 @@ class IndexServer:
         if waited <= self.round_timeout:
             return
         batches = self._round_batches.get(hour, {})
-        stalled = sorted(sid for sid in self._live_shard_ids() if sid not in batches)
+        stalled = sorted(sid for sid in self._live_shard_ids_locked() if sid not in batches)
         if not stalled:
             return
 
@@ -454,7 +484,7 @@ class IndexServer:
         def last_heard(sid: int) -> str:
             return f"last heard from {now - self._shard_activity[sid]:.0f}s ago"
 
-        if self.evict_dead_clients and len(stalled) < self._live_expected():
+        if self.evict_dead_clients and len(stalled) < self._live_expected_locked():
             for sid in stalled:
                 self._evict_locked(
                     sid,
@@ -465,7 +495,7 @@ class IndexServer:
             silence = ", ".join(f"shard {sid}: {last_heard(sid)}" for sid in stalled)
             self._fail_locked(
                 f"sync barrier at hour {hour} waited {waited:.0f}s for "
-                f"shard(s) {stalled} ({len(batches)}/{self._live_expected()} "
+                f"shard(s) {stalled} ({len(batches)}/{self._live_expected_locked()} "
                 f"batches in; {silence}); assuming dead or stalled worker(s)"
             )
 
@@ -625,7 +655,7 @@ class IndexServer:
         batches = self._round_batches.get(hour)
         if not batches:
             return
-        live = self._live_shard_ids()
+        live = self._live_shard_ids_locked()
         if not live or any(sid not in batches for sid in live):
             return
         self._round_broadcasts[hour] = self.coordinator.complete_round(batches)

@@ -24,7 +24,7 @@ module-level import here would be a cycle.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, NoReturn, Optional, Sequence, Tuple
 
 from repro.distributed.protocol import (
     ABORT,
@@ -60,7 +60,7 @@ _SAMPLE_FIELDS = (
 # ---------------------------------------------------------------- validation
 
 
-def _fail(where: str, detail: str) -> None:
+def _fail(where: str, detail: str) -> NoReturn:
     raise ProtocolError(f"invalid {where}: {detail}")
 
 

@@ -32,7 +32,9 @@ class PredicateBuilder:
     """Builds random single-column predicates from observed column values."""
 
     def __init__(self, rng: Optional[random.Random] = None) -> None:
-        self._rng = rng or random.Random()
+        # Default seed is fixed: an unseeded Random here would break the
+        # bit-identical-replay contract for any caller that omits `rng`.
+        self._rng = rng or random.Random(29)
 
     def build(
         self,

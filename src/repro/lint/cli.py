@@ -1,0 +1,129 @@
+"""``python -m repro.lint`` — run the contract linters from the shell.
+
+Exit codes: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import run_lint
+from repro.lint.registry import LintConfigError, registered_rules, rule_by_id
+
+_FIXTURES_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def _explain(rule_id: str) -> int:
+    rule = rule_by_id(rule_id)  # raises LintConfigError on unknown ids
+    print(f"{rule.rule_id}: {rule.title}")
+    print()
+    print(rule.rationale)
+    for flavor, heading in (("bad", "Bad example"), ("good", "Good example")):
+        fixture = os.path.join(
+            _FIXTURES_DIR, f"{rule.rule_id.lower()}_{flavor}.py"
+        )
+        if not os.path.isfile(fixture):
+            continue
+        print()
+        print(f"{heading} ({os.path.relpath(fixture)}):")
+        with open(fixture, "r", encoding="utf-8") as handle:
+            for line in handle.read().splitlines():
+                print("    " + line)
+    return 0
+
+
+def _list_rules() -> int:
+    for rule in registered_rules():
+        print(f"{rule.rule_id}  {rule.title}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis for the repo's determinism, "
+        "concurrency and wire-safety contracts.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULEID",
+        help="print a rule's contract, rationale and fixture examples",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    options = parser.parse_args(argv)
+
+    try:
+        if options.explain:
+            return _explain(options.explain)
+        if options.list_rules:
+            return _list_rules()
+        if not options.paths:
+            parser.error("no paths given (try: python -m repro.lint src)")
+        findings = run_lint(
+            options.paths,
+            select=_split_ids(options.select),
+            ignore=_split_ids(options.ignore),
+        )
+    except LintConfigError as error:
+        print(f"repro.lint: {error}", file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"repro.lint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

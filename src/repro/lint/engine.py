@@ -1,0 +1,98 @@
+"""The lint engine: discover files, run every rule, apply suppressions."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.lint.context import ModuleContext, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, registered_rules, rule_by_id
+from repro.lint.suppressions import (
+    apply_suppressions,
+    parse_path_override,
+    parse_suppressions,
+)
+
+#: Directory fragment excluded from directory walks: fixture files are
+#: deliberately broken and would fail any honest run over ``src``.  Passing
+#: a fixture as an explicit file path still lints it (the tests do).
+_FIXTURES_FRAGMENT = os.path.join("lint", "fixtures")
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted, deduplicated file list."""
+    found: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name for name in dirnames if name != "__pycache__"
+            )
+            if _FIXTURES_FRAGMENT in os.path.join(dirpath, ""):
+                continue
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.add(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def load_module(path: str) -> ModuleContext:
+    """Parse one file and fix its logical path (directive-aware)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.splitlines()
+    logical = parse_path_override(lines) or _logical_path(path)
+    return ModuleContext(path=path, logical=logical, source=source)
+
+
+def _logical_path(path: str) -> str:
+    parts = path.replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index:])
+    return parts[-1]
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """The active rule set for a run; ids are validated eagerly."""
+    selected = list(select or [])
+    ignored = set(ignore or [])
+    for rule_id in list(selected) + sorted(ignored):
+        rule_by_id(rule_id)  # raises LintConfigError on typos
+    rules = registered_rules()
+    if selected:
+        rules = [rule for rule in rules if rule.rule_id in set(selected)]
+    return [rule for rule in rules if rule.rule_id not in ignored]
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint *paths* and return every surviving finding, sorted.
+
+    Suppressions are applied per file after all rules ran, so an unused
+    ``allow[...]`` is detected regardless of which rule it names.
+    """
+    modules = [load_module(path) for path in iter_python_files(paths)]
+    project = Project(modules)
+    rules = select_rules(select=select, ignore=ignore)
+    findings: List[Finding] = []
+    for module in modules:
+        module_findings: List[Finding] = []
+        for rule in rules:
+            module_findings.extend(rule.check_module(module, project))
+        suppressions = parse_suppressions(module.lines)
+        kept, unused = apply_suppressions(
+            module.path, suppressions, module_findings
+        )
+        findings.extend(kept)
+        findings.extend(unused)
+    return sorted(findings, key=Finding.sort_key)

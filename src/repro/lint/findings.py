@@ -1,0 +1,47 @@
+"""The unit of lint output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: where it is, which contract it breaks, how to fix it.
+
+    ``path`` is the filesystem path the finding was produced from (what the
+    user passed on the command line), not the logical module path rules use
+    for scoping — error messages must point at real files.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable output order: path, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """The one-line ``file:line:col: RULE message (fix: ...)`` form."""
+        text = "{}:{}:{}: {} {}".format(
+            self.path, self.line, self.col, self.rule_id, self.message
+        )
+        if self.hint:
+            text += " (fix: {})".format(self.hint)
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form for ``--format json`` and CI artifacts."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }

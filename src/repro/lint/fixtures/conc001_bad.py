@@ -1,0 +1,22 @@
+# repro-lint: path=repro/fixture_conc001.py
+"""Deliberately broken: guarded state touched without the lock."""
+import threading
+
+GUARDED_BY = {"Box": ("_lock", ("_items",))}
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)
+
+    def drain(self):
+        return self.drain_locked()
+
+    def drain_locked(self):
+        items = list(self._items)
+        self._items = []
+        return items

@@ -1,0 +1,24 @@
+# repro-lint: path=repro/fixture_conc001.py
+"""Clean counterpart: every guarded access holds the lock."""
+import threading
+
+GUARDED_BY = {"Box": ("_lock", ("_items",))}
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self):
+        with self._lock:
+            return self.drain_locked()
+
+    def drain_locked(self):
+        items = list(self._items)
+        self._items = []
+        return items

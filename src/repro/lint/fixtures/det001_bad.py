@@ -1,0 +1,20 @@
+# repro-lint: path=repro/core/fixture_det001.py
+"""Deliberately broken: every DET001 class in one file."""
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def make_rng():
+    return random.Random()
+
+
+def salted(seed, name):
+    return random.Random(seed + hash(name) % 1000)
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,22 @@
+# repro-lint: path=repro/core/fixture_det001.py
+"""Clean counterpart: seeded, hash-free, monotonic."""
+import hashlib
+import random
+import time
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def make_rng():
+    return random.Random(17)
+
+
+def salted(seed, name):
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return random.Random(seed + int.from_bytes(digest[:4], "big") % 1000)
+
+
+def stamp():
+    return time.monotonic()

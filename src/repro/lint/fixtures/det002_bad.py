@@ -1,0 +1,12 @@
+# repro-lint: path=repro/core/fixture_det002.py
+"""Deliberately broken: set iteration order leaking into ordered output."""
+NAMES = {"b", "a"}
+ORDERED = list(NAMES)
+JOINED = ",".join(NAMES)
+SHOUTED = [name.upper() for name in NAMES]
+
+
+def emit():
+    tags = {"x", "y"}
+    for tag in tags:
+        yield tag

@@ -1,0 +1,12 @@
+# repro-lint: path=repro/core/fixture_det002.py
+"""Clean counterpart: sorted() at every order-escape point."""
+NAMES = {"b", "a"}
+ORDERED = sorted(NAMES)
+JOINED = ",".join(sorted(NAMES))
+SHOUTED = [name.upper() for name in sorted(NAMES)]
+
+
+def emit():
+    tags = {"x", "y"}
+    for tag in sorted(tags):
+        yield tag

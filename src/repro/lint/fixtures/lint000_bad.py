@@ -1,0 +1,3 @@
+# repro-lint: path=repro/fixture_lint000.py
+"""Deliberately broken: a suppression that suppresses nothing."""
+VALUE = 1  # repro-lint: allow[DET001]

@@ -1,0 +1,7 @@
+# repro-lint: path=repro/core/fixture_lint000.py
+"""Clean counterpart: the allow matches a real finding, so it is used."""
+import random
+
+
+def jitter():
+    return random.random()  # repro-lint: allow[DET001]

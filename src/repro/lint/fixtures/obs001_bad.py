@@ -1,0 +1,9 @@
+# repro-lint: path=repro/core/fixture_obs001.py
+"""Deliberately broken: a heartbeat that dies without a trace."""
+
+
+def tick(transport):
+    try:
+        transport.send(b"hb")
+    except Exception:
+        pass

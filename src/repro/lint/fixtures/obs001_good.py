@@ -1,0 +1,11 @@
+# repro-lint: path=repro/core/fixture_obs001.py
+"""Clean counterpart: contained, but counted."""
+import sys
+
+
+def tick(transport, metrics):
+    try:
+        transport.send(b"hb")
+    except Exception as error:
+        metrics.counter("heartbeat.errors").inc()
+        print(f"heartbeat failed: {error}", file=sys.stderr)

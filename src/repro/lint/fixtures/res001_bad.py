@@ -1,0 +1,12 @@
+# repro-lint: path=repro/fixture_res001.py
+"""Deliberately broken: sockets constructed with no ownership story."""
+import socket
+
+
+def probe(host, port):
+    sock = socket.create_connection((host, port))
+    sock.sendall(b"ping")
+
+
+def fire_and_forget():
+    socket.socket()

@@ -1,0 +1,20 @@
+# repro-lint: path=repro/fixture_res001.py
+"""Clean counterpart: with-block, finally-close, return-to-caller."""
+import socket
+
+
+def probe(host, port):
+    with socket.create_connection((host, port)) as sock:
+        sock.sendall(b"ping")
+
+
+def ping_once(host, port):
+    sock = socket.create_connection((host, port))
+    try:
+        sock.sendall(b"hello")
+    finally:
+        sock.close()
+
+
+def open_for_caller(host, port):
+    return socket.create_connection((host, port))

@@ -1,0 +1,11 @@
+# repro-lint: path=repro/fixture_sec001.py
+"""Deliberately broken: unpickling and eval outside the codec."""
+import pickle
+
+
+def load_frame(blob):
+    return pickle.loads(blob)
+
+
+def evaluate(expression):
+    return eval(expression)

@@ -1,0 +1,8 @@
+# repro-lint: path=repro/fixture_sec001.py
+"""Clean counterpart: unpickling confined to PickleFrameCodec."""
+import pickle
+
+
+class PickleFrameCodec:
+    def recv(self, blob):
+        return pickle.loads(blob)

@@ -1,0 +1,8 @@
+# repro-lint: path=repro/core/fixture_sup.py
+"""allow[DET001] must silence only DET001, not the DET002 on the line."""
+import random
+
+
+def emit():
+    tags = {"x", "y"}
+    return list(tags) or random.random()  # repro-lint: allow[DET001]

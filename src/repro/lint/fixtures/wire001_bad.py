@@ -1,0 +1,17 @@
+# repro-lint: path=repro/fixture_wire/wire.py
+"""Deliberately broken: the encoder drops a dataclass field."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Ping:
+    seq: int
+    payload: str
+
+
+def encode_ping(ping):
+    return {"seq": ping.seq}
+
+
+def decode_ping(obj):
+    return Ping(seq=obj["seq"], payload=obj.get("payload", ""))

@@ -1,0 +1,17 @@
+# repro-lint: path=repro/fixture_wire/wire.py
+"""Clean counterpart: codec and dataclass agree field-for-field."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Ping:
+    seq: int
+    payload: str
+
+
+def encode_ping(ping):
+    return {"seq": ping.seq, "payload": ping.payload}
+
+
+def decode_ping(obj):
+    return Ping(seq=obj["seq"], payload=obj.get("payload", ""))

@@ -1,0 +1,85 @@
+"""Rule registry, mirroring the backend registry idiom.
+
+Rules self-register at import time via the :func:`register_rule` class
+decorator, exactly like engine adapters do with ``register_backend`` — the
+engine then discovers them through :func:`registered_rules` without a central
+hard-coded list, so adding a rule is one new module under ``repro/lint/rules``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type, TYPE_CHECKING
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:
+    from repro.lint.context import ModuleContext, Project
+
+
+class LintConfigError(Exception):
+    """Bad rule registration or CLI rule selection."""
+
+
+class Rule:
+    """One checkable contract.
+
+    Subclasses set the class attributes and implement :meth:`check_module`;
+    rules that need the whole tree (import graphs, cross-module dataclass
+    lookups) receive it as ``project`` on every call and may cache on it.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` — what suppressions name.
+    rule_id: str = ""
+    #: One-line summary shown in listings.
+    title: str = ""
+    #: The invariant and its rationale, shown by ``--explain``.
+    rationale: str = ""
+
+    def check_module(
+        self, module: "ModuleContext", project: "Project"
+    ) -> Iterator[Finding]:
+        """Yield findings for one module; called once per analyzed file."""
+        return iter(())
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule under its id."""
+    rule = cls()
+    if not rule.rule_id:
+        raise LintConfigError(
+            "rule {} has no rule_id".format(cls.__name__)
+        )
+    if rule.rule_id in _RULES:
+        raise LintConfigError(
+            "duplicate rule id {!r}".format(rule.rule_id)
+        )
+    _RULES[rule.rule_id] = rule
+    return cls
+
+
+def registered_rules() -> List[Rule]:
+    """All registered rules in stable (id-sorted) order."""
+    _ensure_rules_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look up one rule; raises :class:`LintConfigError` for unknown ids."""
+    _ensure_rules_loaded()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise LintConfigError(
+            "unknown rule {!r}; known: {}".format(
+                rule_id, ", ".join(sorted(_RULES))
+            )
+        ) from None
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rules package triggers every @register_rule decorator;
+    # deferred so `repro.lint.registry` itself stays import-cycle-free.
+    import repro.lint.rules  # noqa: F401

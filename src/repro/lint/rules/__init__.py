@@ -1,0 +1,11 @@
+"""The rule pack.  Importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    concurrency,
+    determinism,
+    meta,
+    observability,
+    resources,
+    security,
+    wire,
+)

@@ -1,0 +1,23 @@
+"""LINT000: the suite checking itself — unused suppressions.
+
+The finding is emitted by the suppression engine, not by ``check_module``;
+this registration exists so ``--explain LINT000`` and ``--list-rules`` can
+document the contract like any other rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import Rule, register_rule
+
+
+@register_rule
+class UnusedSuppression(Rule):
+    rule_id = "LINT000"
+    title = "unused suppression directive"
+    rationale = (
+        "Every `# repro-lint: allow[RULE]` must suppress an actual finding "
+        "on its line.  When the excused code is later fixed, the stale "
+        "allow would otherwise linger and silently excuse the next "
+        "regression on that line — so an allow that matches nothing is "
+        "itself a finding."
+    )

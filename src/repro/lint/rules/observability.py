@@ -1,0 +1,85 @@
+"""OBS001: swallowed exceptions in worker and campaign paths.
+
+A worker that dies silently looks exactly like a slow worker; PR 5's
+fault-injection postmortems traced every confusing hang to a broad except
+whose body was ``pass``.  Broad handlers are allowed to *contain* failure,
+but they must leave a trace: re-raise, increment an error counter, log, or
+do literally anything observable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+#: Subsystems where silent failure hides worker/campaign death.
+_SCOPED_PREFIXES = ("repro/core/", "repro/distributed/", "repro/obs/")
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True  # bare except
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD_NAMES
+    if isinstance(kind, ast.Tuple):
+        return any(
+            isinstance(elt, ast.Name) and elt.id in _BROAD_NAMES
+            for elt in kind.elts
+        )
+    return False
+
+
+def _is_trivial(statement: ast.stmt) -> bool:
+    if isinstance(statement, (ast.Pass, ast.Continue)):
+        return True
+    if isinstance(statement, ast.Return):
+        return statement.value is None
+    if isinstance(statement, ast.Expr) and isinstance(
+        statement.value, ast.Constant
+    ):
+        return True  # docstring / ellipsis
+    return False
+
+
+@register_rule
+class SwallowedException(Rule):
+    rule_id = "OBS001"
+    title = "broad except swallows the error without a trace"
+    rationale = (
+        "In core/, distributed/ and obs/ a bare `except:` or "
+        "`except Exception:` whose body is only pass/return/continue makes "
+        "worker death indistinguishable from worker slowness.  Narrow "
+        "catches (OSError on a best-effort close) are fine; broad ones must "
+        "re-raise, bump an obs counter, or log before moving on."
+    )
+
+    def check_module(
+        self, module: ModuleContext, project: Project
+    ) -> Iterator[Finding]:
+        if not module.logical.startswith(_SCOPED_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if not all(_is_trivial(statement) for statement in node.body):
+                continue
+            line, col = module.finding_location(node)
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.path,
+                line=line,
+                col=col,
+                message="broad except handler swallows the exception "
+                "silently",
+                hint="re-raise, increment an obs error counter, or write a "
+                "line to stderr before continuing",
+            )

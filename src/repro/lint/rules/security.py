@@ -1,0 +1,65 @@
+"""SEC001: dynamic deserialization/execution outside the sanctioned codec.
+
+``pickle.loads`` on bytes from a socket is remote code execution; protocol
+v2 exists precisely to confine it.  The one legal home is
+``PickleFrameCodec`` (the legacy v1 codec, HELLO-gated and documented as
+trusted-network-only).  ``eval``/``exec`` have no legal home at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+#: The only class allowed to unpickle.
+_SANCTIONED_CLASS = "PickleFrameCodec"
+
+
+@register_rule
+class UnsafeDeserialization(Rule):
+    rule_id = "SEC001"
+    title = "pickle.loads / eval / exec outside PickleFrameCodec"
+    rationale = (
+        "Unpickling attacker-supplied bytes executes arbitrary code; that is "
+        "why the wire protocol moved to HMAC-authenticated JSON frames.  The "
+        "legacy v1 codec class PickleFrameCodec is the single audited "
+        "exception.  eval/exec of strings is never acceptable in this "
+        "codebase — predicates go through the typed expression AST."
+    )
+
+    def check_module(
+        self, module: ModuleContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            message = None
+            if isinstance(func, ast.Name) and func.id in ("eval", "exec"):
+                message = f"call to builtin {func.id}()"
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("loads", "load")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "pickle"
+            ):
+                message = f"pickle.{func.attr}() outside {_SANCTIONED_CLASS}"
+            if message is None:
+                continue
+            enclosing = module.enclosing_class(node)
+            if enclosing is not None and enclosing.name == _SANCTIONED_CLASS:
+                continue
+            line, col = module.finding_location(node)
+            yield Finding(
+                rule_id=self.rule_id,
+                path=module.path,
+                line=line,
+                col=col,
+                message=message,
+                hint="route deserialization through PickleFrameCodec (v1, "
+                "trusted networks) or JsonFrameCodec (v2)",
+            )

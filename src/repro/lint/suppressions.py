@@ -1,0 +1,109 @@
+"""Inline suppressions: ``# repro-lint: allow[RULE]`` and file directives.
+
+A suppression silences exactly one rule on exactly one line — broad opt-outs
+would quietly rot the contracts the suite exists to protect.  Every allow
+must actually suppress something: an unused allow is itself reported (as
+``LINT000``), so stale suppressions cannot linger after the code they
+excused is fixed.
+
+``# repro-lint: path=repro/...`` overrides a file's logical path for rule
+scoping; fixture files use it to place themselves inside the subsystems the
+rules are scoped to without living there.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*(?P<body>.+?)\s*$")
+_ALLOW = re.compile(r"allow\[(?P<ids>[A-Za-z0-9_,\s]+)\]")
+_PATH = re.compile(r"path=(?P<path>\S+)")
+#: Real rule ids look like DET001/LINT000; prose examples ("allow[RULE]")
+#: in docstrings must not parse as live suppressions.
+_RULE_ID = re.compile(r"[A-Z]{2,}[0-9]{3}")
+
+#: Pseudo-rule id used to report unused suppressions.
+UNUSED_SUPPRESSION_RULE = "LINT000"
+
+
+@dataclass
+class Suppression:
+    """One ``allow[RULE]`` on one line, tracked for use."""
+
+    line: int
+    rule_id: str
+    used: bool = False
+
+
+def parse_path_override(lines: List[str]) -> Optional[str]:
+    """The ``path=`` directive's value, if the file declares one.
+
+    Only standalone comment lines count — a docstring quoting the directive
+    syntax must not re-home the module that documents it.
+    """
+    for line in lines:
+        if not line.lstrip().startswith("#"):
+            continue
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        path_match = _PATH.search(match.group("body"))
+        if path_match is not None:
+            return path_match.group("path")
+    return None
+
+
+def parse_suppressions(lines: List[str]) -> List[Suppression]:
+    """Every ``allow[...]`` in the file, one entry per (line, rule)."""
+    found: List[Suppression] = []
+    for number, line in enumerate(lines, start=1):
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        allow_match = _ALLOW.search(match.group("body"))
+        if allow_match is None:
+            continue
+        for rule_id in allow_match.group("ids").split(","):
+            rule_id = rule_id.strip()
+            if rule_id and _RULE_ID.fullmatch(rule_id):
+                found.append(Suppression(line=number, rule_id=rule_id))
+    return found
+
+
+def apply_suppressions(
+    path: str, suppressions: List[Suppression], findings: List[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Filter *findings* through *suppressions* for one file.
+
+    Returns ``(kept, unused)``: findings that survived, and one LINT000
+    finding per allow that matched nothing.
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for suppression in suppressions:
+            if (
+                suppression.line == finding.line
+                and suppression.rule_id == finding.rule_id
+            ):
+                suppression.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    unused = [
+        Finding(
+            rule_id=UNUSED_SUPPRESSION_RULE,
+            path=path,
+            line=suppression.line,
+            col=0,
+            message="unused suppression allow[{}]".format(suppression.rule_id),
+            hint="the allow matches no finding on this line; delete it",
+        )
+        for suppression in suppressions
+        if not suppression.used
+    ]
+    return kept, unused

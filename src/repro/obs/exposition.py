@@ -13,7 +13,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, List, Mapping, Optional, Tuple
 
-from repro.obs.registry import MetricsSnapshot, parse_key
+from repro.obs.registry import HistogramState, MetricsSnapshot, parse_key
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -81,7 +81,7 @@ def render_prometheus(
             lines.append(f"{prom}{_prom_labels(labels)} {_format_value(value)}")
 
     if snapshot is not None:
-        histograms: List[Tuple[str, Mapping[str, str], object]] = []
+        histograms: List[Tuple[str, Mapping[str, str], HistogramState]] = []
         for key, state in snapshot.histograms.items():
             name, labels = parse_key(key)
             histograms.append((name, labels, state))
@@ -150,7 +150,8 @@ class MetricsHTTPServer:
     @property
     def address(self) -> Tuple[str, int]:
         """The actually-bound (host, port) — resolves port 0 requests."""
-        return self._server.server_address[0], self._server.server_address[1]
+        address = self._server.server_address
+        return str(address[0]), int(address[1])
 
     def start(self) -> "MetricsHTTPServer":
         self._thread = threading.Thread(

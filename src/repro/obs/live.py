@@ -88,7 +88,7 @@ def _phase_percentages(snapshot: MetricsSnapshot) -> str:
     total = sum(seconds for _, seconds, _ in rows)
     if total <= 0:
         return "n/a"
-    parts = []
+    parts: List[str] = []
     for name, seconds, _ in rows:
         share = 100.0 * seconds / total
         if share >= 0.5:
@@ -131,7 +131,7 @@ def error_counts(snapshot: MetricsSnapshot) -> Dict[str, int]:
 
 def error_breakdown(snapshot: MetricsSnapshot) -> List[Dict[str, object]]:
     """``execute.errors`` series as records for the campaign JSON."""
-    records = []
+    records: List[Dict[str, object]] = []
     for key in sorted(error_counts(snapshot)):
         _, series_labels = parse_key(key)
         records.append(

@@ -26,9 +26,17 @@ import threading
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from types import TracebackType
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Type, Union
 
 from repro.errors import TelemetryError
+
+#: Lock discipline, enforced by `python -m repro.lint` (CONC001): instrument
+#: maps are shared across every campaign thread and may only be touched
+#: inside ``with self._lock:``.
+GUARDED_BY = {
+    "MetricsRegistry": ("_lock", ("_counters", "_gauges", "_histograms")),
+}
 
 #: Histogram family that every :func:`MetricsRegistry.span` records into,
 #: labeled with ``phase=<name>``.
@@ -48,7 +56,7 @@ def format_key(name: str, labels: Mapping[str, object]) -> str:
         raise TelemetryError(f"invalid metric name {name!r}")
     if not labels:
         return name
-    parts = []
+    parts: List[str] = []
     for key in sorted(labels):
         value = str(labels[key])
         if any(ch in key for ch in "{},=") or any(ch in value for ch in "{},="):
@@ -247,7 +255,7 @@ class MetricsSnapshot:
 
     def counters_by_name(self, name: str) -> Dict[str, int]:
         """All series of one counter family, keyed by full ``name{labels}``."""
-        out = {}
+        out: Dict[str, int] = {}
         for key, value in self.counters.items():
             if parse_key(key)[0] == name:
                 out[key] = value
@@ -268,7 +276,12 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self._registry.observe_phase(
             self._name, time.perf_counter() - self._start
         )
@@ -280,7 +293,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         pass
 
 
@@ -389,16 +407,21 @@ class NullRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str, **labels: object):  # type: ignore[override]
+    def counter(self, name: str, **labels: object) -> "_NullInstrument":  # type: ignore[override]
         return self._NULL
 
-    def gauge(self, name: str, **labels: object):  # type: ignore[override]
+    def gauge(self, name: str, **labels: object) -> "_NullInstrument":  # type: ignore[override]
         return self._NULL
 
-    def histogram(self, name: str, buckets=None, **labels: object):  # type: ignore[override]
+    def histogram(  # type: ignore[override]
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> "_NullInstrument":
         return self._NULL
 
-    def span(self, name: str):
+    def span(self, name: str) -> "_NullSpan":
         return self._NULL_SPAN
 
     def observe_phase(self, name: str, seconds: float) -> None:
@@ -440,7 +463,7 @@ def telemetry_enabled() -> bool:
     return _enabled
 
 
-def span(name: str):
+def span(name: str) -> Union[_Span, _NullSpan]:
     """Shorthand for ``get_registry().span(name)``."""
     return get_registry().span(name)
 
