@@ -36,7 +36,10 @@ from repro.core import (
     BugLog,
     CampaignConfig,
     CampaignResult,
+    CampaignSpec,
+    DifferentialConfig,
     DifferentialOracle,
+    DifferentialOutcome,
     DifferentialTester,
     ExecutionPipeline,
     ParallelCampaignConfig,
@@ -44,14 +47,17 @@ from repro.core import (
     ParallelCampaignResult,
     ParallelSearchConfig,
     ParallelSearchSimulator,
+    QueryCache,
     QueryReducer,
     TQS,
     TQSConfig,
     run_ablation,
     run_baseline_campaign,
+    run_campaign,
     run_differential_campaign,
     run_parallel_baseline_campaign,
     run_parallel_differential_campaign,
+    run_parallel_shards,
     run_parallel_tqs_campaign,
     run_tqs_campaign,
 )
@@ -59,13 +65,17 @@ from repro.dsg import DSG, DSGConfig, GroundTruthOracle, WideTable
 from repro.engine import (
     ALL_DIALECTS,
     Engine,
+    ExecutorBackend,
     ResultSet,
     SIM_MARIADB,
     SIM_MYSQL,
     SIM_TIDB,
     SIM_XDB,
     dialect_by_name,
+    executor_from_name,
     reference_engine,
+    register_executor,
+    registered_executors,
 )
 from repro.kqe import KQE, KQEConfig
 from repro.optimizer import HintSet, standard_hint_sets
@@ -82,13 +92,17 @@ __all__ = [
     "BugLog",
     "CampaignConfig",
     "CampaignResult",
+    "CampaignSpec",
     "DSG",
     "DSGConfig",
+    "DifferentialConfig",
     "DifferentialOracle",
+    "DifferentialOutcome",
     "DifferentialTester",
     "DuckDBBackend",
     "Engine",
     "ExecutionPipeline",
+    "ExecutorBackend",
     "GroundTruthOracle",
     "HintSet",
     "JoinType",
@@ -99,6 +113,7 @@ __all__ = [
     "ParallelCampaignResult",
     "ParallelSearchConfig",
     "ParallelSearchSimulator",
+    "QueryCache",
     "QueryReducer",
     "QuerySpec",
     "ResultSet",
@@ -116,13 +131,18 @@ __all__ = [
     "WideTable",
     "backend_from_name",
     "dialect_by_name",
+    "executor_from_name",
     "reference_engine",
     "register_backend",
+    "register_executor",
+    "registered_executors",
     "run_ablation",
     "run_baseline_campaign",
+    "run_campaign",
     "run_differential_campaign",
     "run_parallel_baseline_campaign",
     "run_parallel_differential_campaign",
+    "run_parallel_shards",
     "run_parallel_tqs_campaign",
     "run_tqs_campaign",
     "standard_hint_sets",

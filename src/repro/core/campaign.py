@@ -22,14 +22,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Union
 
 from repro import obs
+from repro.backends import backend_from_name
 from repro.backends.base import BackendAdapter
+from repro.baselines import make_baseline
 from repro.baselines.base import BaselineTester
 from repro.core.bug_report import BugIncident, BugLog
 from repro.core.differential import DifferentialConfig, DifferentialTester
 from repro.core.execpipe import PipelineConfig
+from repro.core.qcache import QueryCache
 from repro.core.tqs import TQS, TQSConfig
 from repro.dsg.pipeline import DSG, DSGConfig
-from repro.engine.dialects import DialectProfile
+from repro.engine.dialects import DialectProfile, dialect_by_name
 from repro.engine.engine import Engine, reference_engine
 from repro.errors import CampaignError, GenerationError
 
@@ -92,6 +95,11 @@ class CampaignConfig:
     use_ground_truth: bool = True
     use_kqe: bool = True
     max_hint_sets: Optional[int] = None
+    # Reference execution strategy ("row" or "columnar") and the
+    # content-addressed render/result cache — differential campaigns only;
+    # both leave verdicts bit-identical (see repro.core.qcache).
+    reference_executor: str = "row"
+    use_query_cache: bool = False
 
     def dsg_config(self) -> DSGConfig:
         """The DSG configuration implied by this campaign."""
@@ -103,6 +111,118 @@ class CampaignConfig:
             adversarial_pairs=self.use_noise,
             max_hint_sets=self.max_hint_sets,
         )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign, fully described by plain data — the stable public API.
+
+    Where the legacy runners took live objects plus a parameter sprawl
+    (dialect profile, baseline instance, adapter, pipeline config, ...), a
+    spec names everything by string and scalar, so it can be stored, diffed,
+    hashed, shipped across processes and replayed.  :func:`run_campaign` is
+    the single entrypoint consuming it.
+
+    ``kind`` selects the campaign flavour:
+
+    * ``"tqs"`` — TQS against the simulated ``dialect``;
+    * ``"baseline"`` — SQLancer-style ``baseline`` against ``dialect``;
+    * ``"differential"`` — TQS generation differentially against the real
+      ``backend`` adapter, honouring ``reference_executor``,
+      ``use_query_cache`` and ``pipeline_batch_size``.
+
+    ``workers > 1`` routes through the multiprocessing pool
+    (:mod:`repro.core.parallel`) and returns its merged
+    ``ParallelCampaignResult`` instead of a :class:`CampaignResult`.
+    """
+
+    kind: str = "tqs"
+    dialect: str = "SimMySQL"
+    baseline: str = ""
+    backend: str = "sqlite"
+    dataset: str = "shopping"
+    dataset_rows: int = 150
+    hours: int = 24
+    queries_per_hour: int = 12
+    seed: int = 5
+    use_noise: bool = True
+    use_ground_truth: bool = True
+    use_kqe: bool = True
+    max_hint_sets: Optional[int] = None
+    reference_executor: str = "row"
+    use_query_cache: bool = False
+    pipeline_batch_size: int = 1
+    workers: int = 1
+
+    def campaign_config(self) -> "CampaignConfig":
+        """The per-shard :class:`CampaignConfig` this spec implies."""
+        return CampaignConfig(
+            dataset=self.dataset,
+            dataset_rows=self.dataset_rows,
+            hours=self.hours,
+            queries_per_hour=self.queries_per_hour,
+            seed=self.seed,
+            use_noise=self.use_noise,
+            use_ground_truth=self.use_ground_truth,
+            use_kqe=self.use_kqe,
+            max_hint_sets=self.max_hint_sets,
+            reference_executor=self.reference_executor,
+            use_query_cache=self.use_query_cache,
+        )
+
+    def pipeline_config(self) -> Optional[PipelineConfig]:
+        """The execution-pipeline config, or None for the serial path."""
+        if self.pipeline_batch_size > 1:
+            return PipelineConfig(batch_size=self.pipeline_batch_size)
+        return None
+
+
+def run_campaign(spec: CampaignSpec, on_hour: Optional["OnHour"] = None):
+    """Run the campaign *spec* describes; the single public entrypoint.
+
+    Returns a :class:`CampaignResult`, or the parallel pool's merged
+    ``ParallelCampaignResult`` when ``spec.workers > 1`` (the ``on_hour``
+    hook is a serial-path seam and is ignored by the pool, which has its own
+    coordinator-side hooks).
+    """
+    if spec.kind not in ("tqs", "baseline", "differential"):
+        raise CampaignError(
+            f"unknown campaign kind {spec.kind!r}; "
+            "expected 'tqs', 'baseline' or 'differential'"
+        )
+    if spec.kind == "baseline" and not spec.baseline:
+        raise CampaignError("baseline campaigns need spec.baseline set")
+    config = spec.campaign_config()
+    if spec.workers > 1:
+        # Deferred import: the parallel runner imports this module.
+        from repro.core.parallel import (
+            ParallelCampaignConfig,
+            build_shard_specs,
+            run_parallel_shards,
+        )
+
+        shards = build_shard_specs(
+            spec.kind, config, spec.workers, dialect=spec.dialect,
+            baseline=spec.baseline, backend=spec.backend,
+            batch_size=spec.pipeline_batch_size,
+        )
+        return run_parallel_shards(
+            shards,
+            ParallelCampaignConfig(
+                workers=spec.workers,
+                pipeline_batch_size=spec.pipeline_batch_size,
+            ),
+        )
+    if spec.kind == "tqs":
+        return run_tqs_campaign(dialect_by_name(spec.dialect), config,
+                                on_hour=on_hour)
+    if spec.kind == "baseline":
+        return run_baseline_campaign(make_baseline(spec.baseline),
+                                     dialect_by_name(spec.dialect), config,
+                                     on_hour=on_hour)
+    return run_differential_campaign(backend_from_name(spec.backend), config,
+                                     pipeline=spec.pipeline_config(),
+                                     on_hour=on_hour)
 
 
 # --------------------------------------------------------------- shared loop
@@ -255,9 +375,16 @@ def build_baseline_tester(baseline: BaselineTester, dialect: DialectProfile,
 def build_differential_tester(backend: BackendAdapter, config: CampaignConfig,
                               reference: Optional[Engine] = None,
                               differential: Optional[DifferentialConfig] = None,
-                              pipeline: Optional[PipelineConfig] = None
+                              pipeline: Optional[PipelineConfig] = None,
+                              query_cache: Optional[QueryCache] = None
                               ) -> DifferentialTester:
     """Deploy a DSG database into *backend* and wrap it in a tester.
+
+    ``config.reference_executor`` selects the reference execution strategy
+    ("row" / "columnar"); ``config.use_query_cache`` attaches a fresh
+    :class:`~repro.core.qcache.QueryCache` serving both reference results and
+    the backend's rendered SQL (pass *query_cache* to share one across
+    testers, e.g. for repeat-campaign benches).
 
     A failed deploy (schema rejected, data unloadable) closes the adapter
     before re-raising, so callers that never obtain a tester cannot leak a
@@ -267,14 +394,21 @@ def build_differential_tester(backend: BackendAdapter, config: CampaignConfig,
     differential = differential or DifferentialConfig(
         use_kqe=config.use_kqe, seed=config.seed
     )
-    reference = reference or reference_engine(dsg.database)
+    reference = reference or reference_engine(
+        dsg.database, executor=config.reference_executor
+    )
+    if query_cache is None and config.use_query_cache:
+        query_cache = QueryCache()
+    if query_cache is not None and hasattr(backend, "query_cache"):
+        backend.query_cache = query_cache
     try:
         backend.deploy(dsg.database)
     except Exception:
         backend.close()
         raise
     return DifferentialTester(dsg, backend, reference=reference,
-                              config=differential, pipeline=pipeline)
+                              config=differential, pipeline=pipeline,
+                              query_cache=query_cache)
 
 
 # ------------------------------------------------------------ campaign kinds
@@ -283,7 +417,12 @@ def build_differential_tester(backend: BackendAdapter, config: CampaignConfig,
 def run_tqs_campaign(dialect: DialectProfile,
                      config: Optional[CampaignConfig] = None,
                      on_hour: Optional[OnHour] = None) -> CampaignResult:
-    """Run TQS against one simulated DBMS for a budgeted number of hours."""
+    """Run TQS against one simulated DBMS for a budgeted number of hours.
+
+    Deprecated thin wrapper: prefer ``run_campaign(CampaignSpec(kind="tqs",
+    dialect=...))``.  Kept for callers injecting a live
+    :class:`DialectProfile`.
+    """
     config = config or CampaignConfig()
     tqs = build_tqs_tester(dialect, config)
     result = CampaignResult(tool=tqs_variant_name(config), dbms=dialect.name,
@@ -295,7 +434,12 @@ def run_tqs_campaign(dialect: DialectProfile,
 def run_baseline_campaign(baseline: BaselineTester, dialect: DialectProfile,
                           config: Optional[CampaignConfig] = None,
                           on_hour: Optional[OnHour] = None) -> CampaignResult:
-    """Run one SQLancer-style baseline for the same budget."""
+    """Run one SQLancer-style baseline for the same budget.
+
+    Deprecated thin wrapper: prefer ``run_campaign(CampaignSpec(
+    kind="baseline", baseline=...))``.  Kept for callers injecting a live
+    :class:`BaselineTester`.
+    """
     config = config or CampaignConfig()
     baseline = build_baseline_tester(baseline, dialect, config)
     result = CampaignResult(tool=baseline.name, dbms=dialect.name,
@@ -311,6 +455,10 @@ def run_differential_campaign(backend: BackendAdapter,
                               pipeline: Optional[PipelineConfig] = None,
                               on_hour: Optional[OnHour] = None) -> CampaignResult:
     """Run the TQS generator differentially against a real (or wrapped) backend.
+
+    Deprecated thin wrapper: prefer ``run_campaign(CampaignSpec(
+    kind="differential", backend=...))``.  Kept for callers injecting a live
+    adapter, reference engine or pipeline config.
 
     The DSG-generated, noise-injected database is deployed into *backend*
     (rendered CREATE TABLE / INSERT for real engines), then every generated

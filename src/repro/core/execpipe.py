@@ -38,7 +38,6 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro import obs
 from repro.backends.base import BackendExecution
 from repro.engine.resultset import ResultSet
 from repro.errors import CampaignError
@@ -175,10 +174,15 @@ class ExecutionPipeline:
         return lambda: [future.result() for future in futures]
 
     def _execute_reference(self, jobs: Sequence[QueryJob]) -> List[ResultSet]:
-        """The reference side of one batch, strictly in order."""
-        reference = self.oracle.reference
-        with obs.span("execute.reference"):
-            return [reference.execute(job.query) for job in jobs]
+        """The reference side of one batch, strictly in order.
+
+        Goes through the oracle's :meth:`execute_reference` so the result
+        cache (when configured) serves the pipelined path too; the
+        ``execute.reference`` span is recorded inside, around actual
+        executions only.
+        """
+        return [self.oracle.execute_reference(job.query, job.label)
+                for job in jobs]
 
     def run_batch(self, jobs: Sequence[QueryJob]
                   ) -> List["DifferentialOutcome"]:

@@ -44,15 +44,11 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro import obs
-
-from repro.core.budget import budget_policy_from_name
-from repro.core.campaign import CampaignConfig
-from repro.core.parallel import (
-    ParallelCampaignConfig,
+from repro import CampaignConfig, ParallelCampaignConfig, obs, run_parallel_shards
+from repro.core import (
+    budget_policy_from_name,
     build_shard_specs,
     finalize_parallel_result,
-    run_parallel_shards,
     sync_schedule,
 )
 from repro.distributed.protocol import load_auth_key
@@ -157,6 +153,18 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         help="execution-pipeline batch size inside each differential worker; "
         ">1 overlaps target and reference execution (default: 1)",
     )
+    parser.add_argument(
+        "--executor",
+        default="row",
+        help="reference execution strategy for differential campaigns: "
+        "'row' or 'columnar' (default: row)",
+    )
+    parser.add_argument(
+        "--query-cache",
+        action="store_true",
+        help="memoize rendered SQL and reference results in a per-shard "
+        "content-addressed cache (verdicts stay bit-identical)",
+    )
 
 
 def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
@@ -166,6 +174,8 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         hours=args.hours,
         queries_per_hour=args.queries_per_hour,
         seed=args.seed,
+        reference_executor=args.executor,
+        use_query_cache=args.query_cache,
     )
 
 
@@ -186,6 +196,8 @@ def _campaign_echo(args: argparse.Namespace) -> Dict[str, Any]:
         "prune": not args.no_prune,
         "budget_policy": args.budget_policy,
         "batch_size": args.batch_size,
+        "executor": args.executor,
+        "query_cache": args.query_cache,
         "protocol": args.protocol,
     }
 
@@ -401,6 +413,8 @@ def _cmd_verify_local(args: argparse.Namespace) -> int:
         hours=campaign["hours"],
         queries_per_hour=campaign["queries_per_hour"],
         seed=campaign["seed"],
+        reference_executor=campaign.get("executor", "row"),
+        use_query_cache=campaign.get("query_cache", False),
     )
     shards = build_shard_specs(
         campaign["kind"],

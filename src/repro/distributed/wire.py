@@ -176,6 +176,8 @@ def encode_campaign_config(config: Any) -> Dict[str, Any]:
         "use_ground_truth": config.use_ground_truth,
         "use_kqe": config.use_kqe,
         "max_hint_sets": config.max_hint_sets,
+        "reference_executor": config.reference_executor,
+        "use_query_cache": config.use_query_cache,
     }
 
 
@@ -197,6 +199,10 @@ def decode_campaign_config(value: Any) -> Any:
         use_kqe=_bool(_get(obj, "use_kqe", where), f"{where} use_kqe"),
         max_hint_sets=_opt_int(
             _get(obj, "max_hint_sets", where), f"{where} max_hint_sets"
+        ),
+        reference_executor=_str_field(obj, "reference_executor", where),
+        use_query_cache=_bool(
+            _get(obj, "use_query_cache", where), f"{where} use_query_cache"
         ),
     )
 

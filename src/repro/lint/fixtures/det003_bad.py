@@ -1,0 +1,23 @@
+# repro-lint: path=repro/core/qcache.py
+"""Deliberately broken: non-canonical inputs feeding cache keys."""
+import hashlib
+
+MEMO = {}
+
+
+def result_cache_key(query, params):
+    tag = id(query)
+    salt = hash(params)
+    pieces = [str(tag), str(salt)]
+    pieces.extend(f"{k}={v}" for k, v in MEMO.items())
+    return hashlib.sha256("|".join(pieces).encode()).hexdigest()
+
+
+def dataset_fingerprint(tables):
+    parts = [name for name in tables.keys()]
+    return hashlib.sha256(",".join(parts).encode()).hexdigest()
+
+
+def lookup(cache, key):
+    # id()/hash() are banned everywhere in qcache.py, not just key builders.
+    return cache.get(id(key))

@@ -1,0 +1,20 @@
+# repro-lint: path=repro/core/qcache.py
+"""Clean counterpart: content-addressed keys from canonical inputs only."""
+import hashlib
+
+MEMO = {}
+
+
+def result_cache_key(query, params):
+    pieces = [query.render(), repr(params)]
+    pieces.extend(f"{k}={MEMO[k]}" for k in sorted(MEMO))
+    return hashlib.sha256("|".join(pieces).encode()).hexdigest()
+
+
+def dataset_fingerprint(tables):
+    parts = [name for name in sorted(tables.keys())]
+    return hashlib.sha256(",".join(parts).encode()).hexdigest()
+
+
+def lookup(cache, key):
+    return cache.get(key)

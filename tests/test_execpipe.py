@@ -227,6 +227,9 @@ class _OracleStub:
     def precheck(self, query, label):
         return None
 
+    def execute_reference(self, query, label=""):
+        return self.reference.execute(query)
+
     def judge(self, query, label, execution, reference_result):
         self.judged.append((label, execution.ok))
         return (label, execution.ok)
