@@ -517,8 +517,6 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
     boundary (the distributed client's ``--live-stats``); the pool's
     coordinator renders its own merged line instead.
     """
-    import numpy as np
-
     registry = obs.get_registry()
     run_start = time.perf_counter()
     with obs.span("setup"):
@@ -556,10 +554,10 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
             return
         entries: List[IndexEntry] = []
         if index is not None:
-            entries = [
-                (vector.tolist(), label)
-                for vector, label in index.entries_since(watermark[0])
-            ]
+            # to_wire() is the sync protocol's single quantization point:
+            # embeddings round-trip through float32 exactly once, here, so
+            # every transport and wire protocol ships identical values.
+            entries = index.entries_since(watermark[0]).to_wire()
         # Bulk-synchronous rounds keep the run deterministic — local state
         # never depends on timing, only on the round's merged content.  The
         # cumulative telemetry snapshot rides piggyback on the sync payload so
@@ -574,8 +572,7 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
             current_budget[0] = broadcast.next_budget
         if index is not None:
             for vector, label in broadcast.entries:
-                index.add_embedding(np.asarray(vector, dtype=np.float64),
-                                    label)
+                index.add_embedding(vector, label)
             watermark[0] = len(index)
 
     result = CampaignResult(tool="", dbms="", dataset=spec.config.dataset)
@@ -591,10 +588,7 @@ def run_shard_with_transport(spec: ShardSpec, sync_hours: Sequence[int],
             closer()
     unsynced: List[IndexEntry] = []
     if index is not None:
-        unsynced = [
-            (vector.tolist(), label)
-            for vector, label in index.entries_since(watermark[0])
-        ]
+        unsynced = index.entries_since(watermark[0]).to_wire()
     # The phase-coverage denominator: one observation of this shard's total
     # wall-clock, merged across shards by summing (histogram merge).
     registry.histogram("worker.run.seconds",

@@ -259,6 +259,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         auth_key=_auth_key(args),
         evict_dead_clients=args.evict_dead_clients,
+        snapshot_dir=args.snapshot_dir,
     )
     server.start()
     auth = "on" if args.auth_key_file else "off"
@@ -268,6 +269,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"auth {auth}, novelty pruning {'off' if args.no_prune else 'on'})",
         flush=True,
     )
+    if args.snapshot_dir:
+        print(
+            f"snapshot log in {args.snapshot_dir}: "
+            f"{server.restored_rounds} round(s) restored",
+            flush=True,
+        )
     start = time.perf_counter()
     metrics_http = None
     if args.metrics_addr:
@@ -585,6 +592,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="",
         help="write the final server stats payload and merged telemetry "
         "snapshot as JSON to this path",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="persist every completed sync round to a checksummed log in "
+        "this directory and, on start, replay any rounds a previous server "
+        "for the same campaign already completed — a killed server can be "
+        "restarted mid-campaign with bit-identical results",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -23,8 +23,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
-import numpy as np
-
 from repro.core.budget import BudgetPolicy, redistribute_budget
 from repro.distributed.protocol import IndexEntry, SyncBroadcast
 from repro.kqe.graph_index import GraphIndex
@@ -69,7 +67,9 @@ class CentralCoordinator:
         """Fold entries into the central index; returns how many were added."""
         count = 0
         for vector, label in entries:
-            self.index.add_embedding(np.asarray(vector, dtype=np.float64), label)
+            # The index's store normalizes dtypes itself; converting here
+            # would copy every vector a second time per round.
+            self.index.add_embedding(vector, label)
             count += 1
         return count
 
@@ -97,7 +97,7 @@ class CentralCoordinator:
                 # duplicates count once and no parallel label set is kept.
                 if not self.index.contains_label(label):
                     novel += 1
-                self.index.add_embedding(np.asarray(vector, dtype=np.float64), label)
+                self.index.add_embedding(vector, label)
                 known.add(label)
             novel_counts[shard_id] = novel
         next_budgets = self._rebalance(novel_counts)
@@ -123,6 +123,19 @@ class CentralCoordinator:
             self.broadcast_entries_sent += len(entries)
             self.broadcast_entries_suppressed += suppressed
         return broadcasts
+
+    def replay_round(
+        self, batches: Mapping[int, Sequence[IndexEntry]]
+    ) -> Dict[int, SyncBroadcast]:
+        """Re-apply one snapshot-logged round during restore.
+
+        Deliberately *the same code path* as :meth:`complete_round`: merge
+        order, novelty pruning and budget rebalancing are all pure functions
+        of round content, so replaying the logged batches reproduces the
+        coordinator's state — and the broadcasts — bit-identically.  The
+        alias exists so restore call sites read as what they are.
+        """
+        return self.complete_round(batches)
 
     def evict(self, shard_id: int) -> None:
         """Drop a dead worker; its per-hour budget moves to the survivors.

@@ -76,9 +76,14 @@ STATS_OK = "stats-ok"
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 # Protocol v2 framing: magic, then the same 4-byte length prefix as v1, then
-# the authentication tag, then the JSON body.
+# the authentication tag, then the JSON body.  Version 3 keeps the framing
+# and message schema of v2 but ships index-entry batches as packed base64
+# float32 blobs (see wire.encode_entries_packed); the HELLO exchange
+# negotiates down to plain-JSON entries when either end only speaks 2.
 MAGIC = b"TQS2"
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
+SUPPORTED_PROTOCOL_VERSIONS = (2, 3)
+PACKED_ENTRIES_MIN_VERSION = 3
 MAC_BYTES = hashlib.sha256().digest_size
 
 _HEADER = struct.Struct(">I")
@@ -282,10 +287,23 @@ class JsonFrameCodec(FrameCodec):
     def __init__(self, auth_key: Optional[bytes] = None) -> None:
         self._key = bytes(auth_key or b"")
         self._binding = b""
+        self._packed_entries = False
 
     def bind(self, nonce: str) -> None:
         """Mix the connection's HELLO_OK nonce into all subsequent tags."""
         self._binding = nonce.encode("ascii")
+
+    def negotiate(self, version: int) -> None:
+        """Adopt the connection's agreed protocol version (HELLO outcome).
+
+        At version >= 3 both ends ship packed index entries; decoding is
+        self-describing, so only the *encode* side consults this.
+        """
+        self._packed_entries = version >= PACKED_ENTRIES_MIN_VERSION
+
+    @property
+    def packed_entries(self) -> bool:
+        return self._packed_entries
 
     def _tag(self, header: bytes, body: bytes) -> bytes:
         material = self._binding + header + body
@@ -296,7 +314,9 @@ class JsonFrameCodec(FrameCodec):
         from repro.distributed import wire
 
         body = json.dumps(
-            wire.encode_message(message), separators=(",", ":"), sort_keys=True
+            wire.encode_message(message, packed_entries=self._packed_entries),
+            separators=(",", ":"),
+            sort_keys=True,
         ).encode("utf-8")
         if len(body) > MAX_FRAME_BYTES:
             raise TransportError(
@@ -405,6 +425,10 @@ def client_handshake(sock: socket.socket, codec: FrameCodec) -> None:
         ) from exc
     if reply[0] == ABORT:
         raise TransportError(f"index server rejected the handshake: {reply[1]}")
-    if reply[0] != HELLO_OK or reply[1] != PROTOCOL_VERSION:
+    if reply[0] != HELLO_OK or reply[1] not in SUPPORTED_PROTOCOL_VERSIONS:
         raise TransportError(f"unexpected handshake reply {reply!r}")
+    # The server replies with min(client version, server version): both ends
+    # adopt it, so a v2 peer on either side keeps the fleet on JSON entries.
+    if isinstance(codec, JsonFrameCodec):
+        codec.negotiate(reply[1])
     codec.bind(reply[2])

@@ -35,6 +35,8 @@ budget is redistributed (total conserved) via the coordinator.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import socket
 import socketserver
@@ -45,7 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.core.budget import BudgetPolicy
 from repro.core.parallel import ShardSpec, WorkerReport
-from repro.distributed import protocol
+from repro.distributed import protocol, wire
 from repro.distributed.coordinator import CentralCoordinator
 from repro.distributed.protocol import (
     FrameCodec,
@@ -54,7 +56,11 @@ from repro.distributed.protocol import (
     SyncBroadcast,
     codec_from_name,
 )
-from repro.errors import ProtocolError, TransportError
+from repro.errors import ProtocolError, SnapshotError, TransportError
+from repro.kqe.snapshot import SnapshotWriter, read_snapshot
+
+#: File inside ``--snapshot-dir`` holding the round log for one campaign.
+SNAPSHOT_FILENAME = "rounds.tqssnap"
 
 #: Lock discipline, enforced by `python -m repro.lint` (CONC001): every
 #: mutable campaign-state attribute below may only be touched inside
@@ -78,6 +84,10 @@ GUARDED_BY = {
             "_round_opened",
             "_completed_hours",
             "_rounds_completed",
+            "_replayed_broadcasts",
+            "_replayed_counts",
+            "_replay_pending",
+            "_snapshot_writer",
             "_telemetry",
             "_failure",
             "_last_activity",
@@ -157,19 +167,24 @@ class _Handler(socketserver.BaseRequestHandler):
                 f"protocol v2 requires a HELLO handshake before {message[0]!r}",
             )
             return False
-        if message[1] != protocol.PROTOCOL_VERSION:
+        if message[1] not in protocol.SUPPORTED_PROTOCOL_VERSIONS:
             owner.frame_rejected([], f"unsupported version {message[1]!r}")
             self._abort(
                 sock,
                 codec,
                 f"unsupported protocol version {message[1]!r}; this server "
-                f"speaks version {protocol.PROTOCOL_VERSION}",
+                f"speaks versions {protocol.SUPPORTED_PROTOCOL_VERSIONS}",
             )
             return False
+        # Negotiate down to the older peer: a v2 client keeps plain-JSON
+        # index entries, a v3 client gets packed float32 batches.
+        negotiated = min(message[1], protocol.PROTOCOL_VERSION)
+        if isinstance(codec, protocol.JsonFrameCodec):
+            codec.negotiate(negotiated)
         # Bind the rest of the connection to a fresh nonce: frames captured
         # elsewhere fail authentication here, so replay cannot fail a round.
         nonce = os.urandom(16).hex()
-        codec.send(sock, (protocol.HELLO_OK, protocol.PROTOCOL_VERSION, nonce))
+        codec.send(sock, (protocol.HELLO_OK, negotiated, nonce))
         codec.bind(nonce)
         return True
 
@@ -196,6 +211,7 @@ class IndexServer:
         protocol: str = "json",
         auth_key: Optional[bytes] = None,
         evict_dead_clients: bool = False,
+        snapshot_dir: Optional[str] = None,
     ) -> None:
         if not shards:
             raise TransportError("an index server needs at least one shard")
@@ -234,10 +250,22 @@ class IndexServer:
         # the SYNC piggyback mid-campaign and replaced by the REPORT's final
         # snapshot; merged on demand for STATS / Prometheus exposition.
         self._telemetry: Dict[int, Dict[str, Any]] = {}
+        # Rounds replayed from a snapshot at startup: restarted clients
+        # deterministically re-run the campaign from hour 0, and these serve
+        # their already-merged broadcasts without re-merging anything.
+        self._replayed_broadcasts: Dict[int, Dict[int, SyncBroadcast]] = {}
+        self._replayed_counts: Dict[int, Dict[int, int]] = {}
+        self._replay_pending: Dict[int, set] = {}
+        self._snapshot_writer: Optional[SnapshotWriter] = None
+        self.snapshot_dir = snapshot_dir
+        self.restored_rounds = 0
         self._cond = threading.Condition()
         self._done = threading.Event()
         self._failure: Optional[str] = None
         self._last_activity = now
+        if snapshot_dir is not None:
+            with self._cond:
+                self._open_snapshot_locked(snapshot_dir)
         self._server = _TCPServer((host, port), _Handler, bind_and_activate=True)
         self._server.index_server = self
         self.host, self.port = self._server.server_address[:2]
@@ -269,6 +297,10 @@ class IndexServer:
             self._stopped = True
         self._server.shutdown()
         self._server.server_close()
+        with self._cond:
+            writer, self._snapshot_writer = self._snapshot_writer, None
+        if writer is not None:
+            writer.close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
 
@@ -307,6 +339,162 @@ class IndexServer:
     def _live_expected_locked(self) -> int:
         return self.expected - len(self._evicted)
 
+    # ------------------------------------------------------------- snapshots
+
+    def _campaign_fingerprint_locked(self) -> str:
+        """One hash pinning the campaign a snapshot belongs to.
+
+        Derived from the shard specs, the sync schedule and the pruning
+        switch: a snapshot only replays into the *same* deterministic
+        campaign, anything else starts a fresh log.
+        """
+        material = json.dumps(
+            {
+                "shards": [wire.encode_shard_spec(spec) for spec in self._assignable],
+                "sync_hours": list(self.sync_hours),
+                "prune": self.coordinator.prune,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _snapshot_header_locked(self) -> Dict[str, Any]:
+        return {
+            "kind": "kqe-server-rounds",
+            "version": 1,
+            "fingerprint": self._campaign_fingerprint_locked(),
+        }
+
+    def _open_snapshot_locked(self, snapshot_dir: str) -> None:
+        """Restore any prior rounds for this campaign, then keep logging.
+
+        The log is rewritten through a rename: valid records are replayed
+        into the coordinator and re-appended to a fresh temp file that
+        atomically replaces the old one — which silently sheds a torn final
+        record (the crash case; that round simply re-runs live) and leaves
+        the file structurally valid at every instant.
+        """
+        os.makedirs(snapshot_dir, exist_ok=True)
+        path = os.path.join(snapshot_dir, SNAPSHOT_FILENAME)
+        header = self._snapshot_header_locked()
+        batches: List[Any] = []
+        if os.path.exists(path):
+            try:
+                stored_header, batches, _ = read_snapshot(path)
+            except SnapshotError as exc:
+                raise TransportError(
+                    f"cannot restore snapshot {path!r}: {exc}"
+                ) from exc
+            if stored_header != header:
+                # A different campaign (or snapshot format) used this
+                # directory; its rounds cannot replay into this one.
+                batches = []
+        with obs.span("server.snapshot.restore"):
+            temp_path = path + ".tmp"
+            writer = SnapshotWriter.create(temp_path, header)
+            try:
+                for batch in batches:
+                    self._replay_batch_locked(batch)
+                    writer.append(batch.vectors, batch.labels, batch.meta)
+            except (OSError, SnapshotError, TransportError):
+                writer.close()
+                raise
+            os.replace(temp_path, path)
+            writer.path = path
+        self._snapshot_writer = writer
+
+    def _replay_batch_locked(self, batch: Any) -> None:
+        """Re-merge one logged round; its broadcasts await the restarted shards."""
+        hour = batch.meta.get("hour")
+        shards = batch.meta.get("shards")
+        if not isinstance(hour, int) or not isinstance(shards, list):
+            raise TransportError(f"snapshot record meta is malformed: {batch.meta!r}")
+        if hour not in self.sync_hours or hour in self._replayed_broadcasts:
+            raise TransportError(
+                f"snapshot replays hour {hour} outside the campaign's schedule"
+            )
+        round_batches: Dict[int, List[IndexEntry]] = {}
+        counts: Dict[int, int] = {}
+        offset = 0
+        for pair in shards:
+            shard_id, count = int(pair[0]), int(pair[1])
+            if shard_id not in self._shards or count < 0:
+                raise TransportError(
+                    f"snapshot names unknown shard {shard_id} at hour {hour}"
+                )
+            round_batches[shard_id] = [
+                (batch.vectors[offset + position], batch.labels[offset + position])
+                for position in range(count)
+            ]
+            counts[shard_id] = count
+            offset += count
+        if offset != len(batch.vectors):
+            raise TransportError(
+                f"snapshot record at hour {hour} claims {offset} entries "
+                f"but holds {len(batch.vectors)}"
+            )
+        self._replayed_broadcasts[hour] = self.coordinator.replay_round(round_batches)
+        self._replayed_counts[hour] = counts
+        self._replay_pending[hour] = set(round_batches)
+        self._rounds_completed += 1
+        self.restored_rounds += 1
+
+    def _append_snapshot_locked(
+        self, hour: int, batches: Dict[int, List[IndexEntry]]
+    ) -> None:
+        writer = self._snapshot_writer
+        if writer is None:
+            return
+        shards: List[List[int]] = []
+        vectors: List[List[float]] = []
+        labels: List[str] = []
+        for shard_id in sorted(batches):
+            entries = batches[shard_id]
+            shards.append([shard_id, len(entries)])
+            for vector, label in entries:
+                vectors.append([float(component) for component in vector])
+                labels.append(label)
+        try:
+            with obs.span("server.snapshot.append"):
+                writer.append(vectors, labels, {"hour": hour, "shards": shards})
+        except (OSError, SnapshotError) as exc:
+            # A campaign whose durability was requested but lost must fail
+            # loudly, not complete with a silently unrecoverable log.
+            self._fail_locked(f"snapshot append failed at hour {hour}: {exc}")
+
+    def _replayed_sync_locked(
+        self, shard_id: int, hour: int, entries: List[IndexEntry]
+    ) -> Tuple[Any, ...]:
+        """Serve one stored broadcast to a deterministically re-running shard."""
+        broadcasts = self._replayed_broadcasts[hour]
+        if shard_id not in broadcasts:
+            self._fail_locked(
+                f"restore mismatch: shard {shard_id} synced at replayed hour "
+                f"{hour} but was not part of the logged round"
+            )
+            return (protocol.ABORT, self._failure)
+        logged = self._replayed_counts[hour].get(shard_id, 0)
+        if len(entries) != logged:
+            self._fail_locked(
+                f"restore divergence: shard {shard_id} shipped {len(entries)} "
+                f"entries at hour {hour} where the snapshot logged {logged}; "
+                "the restarted campaign is not replaying deterministically"
+            )
+            return (protocol.ABORT, self._failure)
+        broadcast = broadcasts[shard_id]
+        pending = self._replay_pending[hour]
+        pending.discard(shard_id)
+        if not pending:
+            self._cleanup_replayed_round_locked(hour)
+        return (protocol.BROADCAST, broadcast)
+
+    def _cleanup_replayed_round_locked(self, hour: int) -> None:
+        self._completed_hours.add(hour)
+        del self._replayed_broadcasts[hour]
+        del self._replayed_counts[hour]
+        del self._replay_pending[hour]
+
     # ----------------------------------------------------------------- stats
 
     def stats_payload(self) -> Dict[str, Any]:
@@ -325,6 +513,7 @@ class IndexServer:
                 "registered_shards": sorted(self._registered),
                 "reports_received": len(self.reports),
                 "rounds_completed": self._rounds_completed,
+                "rounds_restored": self.restored_rounds,
                 "sync_rounds_scheduled": len(self.sync_hours),
                 "frames_rejected": self.frames_rejected,
                 "eviction_count": len(self._evicted),
@@ -445,6 +634,11 @@ class IndexServer:
             pending.discard(shard_id)
             if not pending:
                 self._cleanup_round_locked(hour)
+        for hour in list(self._replay_pending):
+            pending = self._replay_pending[hour]
+            pending.discard(shard_id)
+            if not pending:
+                self._cleanup_replayed_round_locked(hour)
         if self._live_expected_locked() == 0:
             self._fail_locked("every client was evicted before the campaign completed")
             return
@@ -473,7 +667,9 @@ class IndexServer:
         if waited <= self.round_timeout:
             return
         batches = self._round_batches.get(hour, {})
-        stalled = sorted(sid for sid in self._live_shard_ids_locked() if sid not in batches)
+        stalled = sorted(
+            sid for sid in self._live_shard_ids_locked() if sid not in batches
+        )
         if not stalled:
             return
 
@@ -612,6 +808,12 @@ class IndexServer:
                     f"protocol violation: sync from unregistered shard {shard_id}"
                 )
                 return (protocol.ABORT, self._failure)
+            if hour in self._replayed_broadcasts:
+                # A restored campaign: the round was already merged (and its
+                # outcome fsynced) before the crash; the restarted shard
+                # deterministically re-derived the same batch and gets the
+                # stored broadcast back without a barrier.
+                return self._replayed_sync_locked(shard_id, hour, entries)
             if hour not in self.sync_hours or hour in self._completed_hours:
                 self._fail_locked(
                     f"protocol violation: sync at unscheduled or already "
@@ -661,6 +863,9 @@ class IndexServer:
         self._round_broadcasts[hour] = self.coordinator.complete_round(batches)
         self._round_pending_fetch[hour] = set(batches)
         self._rounds_completed += 1
+        # Log the round before any broadcast is released: once a worker has
+        # seen the merge, a restart must be able to replay it.
+        self._append_snapshot_locked(hour, batches)
         self._cond.notify_all()
 
     def _cleanup_round_locked(self, hour: int) -> None:

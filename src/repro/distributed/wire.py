@@ -24,6 +24,10 @@ module-level import here would be a cycle.
 
 from __future__ import annotations
 
+import base64
+import math
+import sys
+from array import array
 from typing import Any, Dict, List, NoReturn, Optional, Sequence, Tuple
 
 from repro.distributed.protocol import (
@@ -131,7 +135,93 @@ def encode_entries(entries: Sequence[IndexEntry]) -> List[List[Any]]:
     return [[list(vector), label] for vector, label in entries]
 
 
+#: A packed entry batch bigger than this is a corrupt or hostile length pair,
+#: never a real sync round; checked *before* any base64 or array allocation.
+MAX_PACKED_FLOATS = 32 * 1024 * 1024
+
+
+def encode_entries_packed(entries: Sequence[IndexEntry]) -> Dict[str, Any]:
+    """Index entries as one base64 little-endian float32 blob + label list.
+
+    Embeddings are float32-quantized at the ship boundary
+    (:meth:`repro.kqe.store.EntryBatch.to_wire`), so the float32 re-encode
+    here is exact.  Requires a rectangular batch (one embedder, one
+    dimensionality — every real sync round); raggedness is a caller bug.
+    """
+    labels: List[str] = []
+    values = array("f")
+    dims = len(entries[0][0]) if entries else 0
+    for vector, label in entries:
+        if len(vector) != dims:
+            _fail(
+                "packed index entries",
+                f"ragged batch: expected {dims}-component vectors, "
+                f"got {len(vector)}",
+            )
+        values.extend(vector)
+        labels.append(label)
+    if sys.byteorder == "big":  # pragma: no cover - no big-endian CI leg
+        values.byteswap()
+    return {
+        "packed": 1,
+        "count": len(labels),
+        "dims": dims,
+        "data": base64.b64encode(values.tobytes()).decode("ascii"),
+        "labels": labels,
+    }
+
+
+def decode_entries_packed(value: Any, where: str = "index entries") -> List[IndexEntry]:
+    obj = _obj(value, where)
+    if obj.get("packed") != 1:
+        _fail(where, f"unknown packed-batch version {obj.get('packed')!r}")
+    count = _int(_get(obj, "count", where), f"{where} count")
+    dims = _int(_get(obj, "dims", where), f"{where} dims")
+    data = _str(_get(obj, "data", where), f"{where} data")
+    labels = _list(_get(obj, "labels", where), f"{where} labels")
+    # Every length is validated against every other *before* any allocation:
+    # a forged count/dims pair must neither balloon memory nor silently
+    # truncate, and the base64 text length must match the claimed blob size
+    # exactly (base64 encodes 3 bytes per 4 characters, padded).
+    if count < 0 or dims < 0 or count * dims > MAX_PACKED_FLOATS:
+        _fail(where, f"implausible packed batch shape {count}x{dims}")
+    if len(labels) != count:
+        _fail(where, f"{len(labels)} labels for {count} packed vectors")
+    blob_bytes = count * dims * 4
+    expected_chars = 4 * ((blob_bytes + 2) // 3)
+    if len(data) != expected_chars:
+        _fail(
+            where,
+            f"packed blob is {len(data)} base64 chars, expected "
+            f"{expected_chars} for {count}x{dims} float32s",
+        )
+    try:
+        blob = base64.b64decode(data, validate=True)
+    except (ValueError, TypeError) as exc:
+        _fail(where, f"packed blob is not valid base64: {exc}")
+    if len(blob) != blob_bytes:
+        _fail(where, f"packed blob decoded to {len(blob)} bytes, not {blob_bytes}")
+    values = array("f")
+    values.frombytes(blob)
+    if sys.byteorder == "big":  # pragma: no cover - no big-endian CI leg
+        values.byteswap()
+    flat = values.tolist()
+    for component in flat:
+        if not math.isfinite(component):
+            _fail(where, "packed vector component is not finite")
+    label_names = [_str(label, f"{where} label") for label in labels]
+    return [
+        (flat[row * dims : (row + 1) * dims], label_names[row])
+        for row in range(count)
+    ]
+
+
 def decode_entries(value: Any, where: str = "index entries") -> List[IndexEntry]:
+    # Self-describing on the wire: protocol >= 3 peers ship the packed object
+    # form, v2 peers the legacy pair-list form; both decode here so mixed
+    # fleets interoperate.
+    if isinstance(value, dict):
+        return decode_entries_packed(value, where)
     entries: List[IndexEntry] = []
     for pair in _list(value, where):
         pair = _list(pair, f"{where} entry")
@@ -147,9 +237,17 @@ def decode_entries(value: Any, where: str = "index entries") -> List[IndexEntry]
     return entries
 
 
-def encode_broadcast(broadcast: SyncBroadcast) -> Dict[str, Any]:
+def _encode_entry_payload(
+    entries: Sequence[IndexEntry], packed: bool
+) -> Any:
+    return encode_entries_packed(entries) if packed else encode_entries(entries)
+
+
+def encode_broadcast(
+    broadcast: SyncBroadcast, packed_entries: bool = False
+) -> Dict[str, Any]:
     return {
-        "entries": encode_entries(broadcast.entries),
+        "entries": _encode_entry_payload(broadcast.entries, packed_entries),
         "suppressed": broadcast.suppressed,
         "next_budget": broadcast.next_budget,
     }
@@ -284,7 +382,7 @@ def decode_incident(value: Any) -> Any:
     )
 
 
-def encode_worker_report(report: Any) -> Dict[str, Any]:
+def encode_worker_report(report: Any, packed_entries: bool = False) -> Dict[str, Any]:
     return {
         "shard_id": report.shard_id,
         "tool": report.tool,
@@ -296,7 +394,9 @@ def encode_worker_report(report: Any) -> Dict[str, Any]:
             [encode_incident(incident) for incident in incidents]
             for incidents in report.hourly_incidents
         ],
-        "unsynced_entries": encode_entries(report.unsynced_entries),
+        "unsynced_entries": _encode_entry_payload(
+            report.unsynced_entries, packed_entries
+        ),
         "hourly_budgets": list(report.hourly_budgets),
         "entries_shipped": report.entries_shipped,
         "broadcast_entries_received": report.broadcast_entries_received,
@@ -426,8 +526,13 @@ def decode_stats(value: Any) -> Dict[str, Any]:
 # ------------------------------------------------------------ message codecs
 
 
-def encode_message(message: Any) -> Dict[str, Any]:
-    """One tagged-tuple protocol message as a JSON-ready object."""
+def encode_message(message: Any, packed_entries: bool = False) -> Dict[str, Any]:
+    """One tagged-tuple protocol message as a JSON-ready object.
+
+    With *packed_entries* (negotiated at protocol version >= 3) every index
+    entry batch in the message rides as one base64 float32 blob instead of a
+    per-float JSON array; decoding is self-describing either way.
+    """
     if not isinstance(message, tuple) or not message:
         raise ProtocolError(f"cannot encode non-message {message!r}")
     verb = message[0]
@@ -442,7 +547,7 @@ def encode_message(message: Any) -> Dict[str, Any]:
             "verb": verb,
             "shard_id": message[1],
             "hour": message[2],
-            "entries": encode_entries(message[3]),
+            "entries": _encode_entry_payload(message[3], packed_entries),
         }
         # Optional telemetry piggyback; omitted entirely when absent so the
         # frame stays byte-identical to pre-telemetry campaigns.
@@ -452,7 +557,10 @@ def encode_message(message: Any) -> Dict[str, Any]:
     if verb == TICK:
         return {"verb": verb, "shard_id": message[1]}
     if verb == REPORT:
-        return {"verb": verb, "report": encode_worker_report(message[1])}
+        return {
+            "verb": verb,
+            "report": encode_worker_report(message[1], packed_entries),
+        }
     if verb == ERROR:
         return {"verb": verb, "shard_id": message[1], "text": message[2]}
     if verb == SHUTDOWN:
@@ -469,7 +577,10 @@ def encode_message(message: Any) -> Dict[str, Any]:
             "sync_hours": list(message[2]),
         }
     if verb == BROADCAST:
-        return {"verb": verb, "broadcast": encode_broadcast(message[1])}
+        return {
+            "verb": verb,
+            "broadcast": encode_broadcast(message[1], packed_entries),
+        }
     if verb == OK:
         return {"verb": verb}
     if verb == ABORT:

@@ -68,6 +68,10 @@ class ProtocolError(TransportError):
     """
 
 
+class SnapshotError(ReproError):
+    """Raised for corrupt, truncated or version-skewed KQE index snapshots."""
+
+
 class TelemetryError(ReproError):
     """Raised for invalid metric definitions or incompatible snapshot merges."""
 

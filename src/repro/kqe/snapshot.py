@@ -1,0 +1,274 @@
+"""Append-only, checksummed snapshot log for KQE index state.
+
+A snapshot file is a header followed by zero or more records, each holding
+one batch of (embedding, label) pairs plus a small JSON meta object (the
+distributed server stores one record per completed sync round; the in-memory
+index stores a single record).  Everything is length-prefixed, checksummed
+and JSON/binary — **no pickle anywhere** (SEC001), so restoring a snapshot
+from an untrusted disk can fail loudly but never execute anything.
+
+Layout (all integers little-endian u32)::
+
+    MAGIC(8) | header_len | header_json | sha256(header_json)
+    repeat:  record_len | sha256(payload) | payload
+
+    payload: meta_len | meta_json | count | dims
+             | count*dims float64 (little-endian) | labels_len | labels_json
+
+Crash tolerance is structural: records are appended with flush+fsync, so a
+crash can only tear the *final* record.  :func:`read_snapshot` detects a torn
+or checksum-corrupt tail, drops it, and reports ``truncated=True`` — the
+server then simply re-runs that round live, which the determinism contract
+guarantees reproduces the dropped bytes.  A corrupt header (or any corruption
+before the tail) raises :class:`~repro.errors.SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SnapshotError
+
+MAGIC = b"TQSSNAP1"
+_U32 = struct.Struct("<I")
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+#: A header or meta object bigger than this is corruption, not configuration.
+MAX_HEADER_BYTES = 1 << 20
+#: Bound every length prefix before allocating: even a 10^6-entry round of
+#: 64-dim float64 embeddings is ~half a gigabyte.
+MAX_RECORD_BYTES = 1 << 30
+MAX_DIMS = 1 << 16
+
+
+@dataclass
+class SnapshotBatch:
+    """One decoded record: a batch of embeddings, labels and its meta dict."""
+
+    meta: Dict[str, Any]
+    vectors: List[List[float]]
+    labels: List[str] = field(default_factory=list)
+
+
+def _checksum(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()
+
+
+def _encode_payload(
+    vectors: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    meta: Dict[str, Any],
+) -> bytes:
+    if len(vectors) != len(labels):
+        raise SnapshotError(
+            f"batch has {len(vectors)} vectors but {len(labels)} labels"
+        )
+    dims = len(vectors[0]) if vectors else 0
+    flat: List[float] = []
+    for vector in vectors:
+        if len(vector) != dims:
+            raise SnapshotError(
+                f"ragged batch: expected {dims}-dim vectors, got {len(vector)}"
+            )
+        flat.extend(float(component) for component in vector)
+    meta_json = json.dumps(meta, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    labels_json = json.dumps(
+        list(labels), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    blob = struct.pack(f"<{len(flat)}d", *flat)
+    return b"".join(
+        (
+            _U32.pack(len(meta_json)),
+            meta_json,
+            _U32.pack(len(vectors)),
+            _U32.pack(dims),
+            blob,
+            _U32.pack(len(labels_json)),
+            labels_json,
+        )
+    )
+
+
+class _PayloadReader:
+    """Cursor over one record payload; every read is bounds-checked."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._payload = payload
+        self._offset = 0
+
+    def take(self, count: int, what: str) -> bytes:
+        end = self._offset + count
+        if end > len(self._payload):
+            raise SnapshotError(f"record payload truncated while reading its {what}")
+        data = self._payload[self._offset : end]
+        self._offset = end
+        return data
+
+    def u32(self, what: str) -> int:
+        return int(_U32.unpack(self.take(_U32.size, what))[0])
+
+    def json_obj(self, limit: int, what: str) -> Any:
+        length = self.u32(f"{what} length")
+        if length > limit:
+            raise SnapshotError(f"{what} length {length} exceeds {limit}")
+        try:
+            return json.loads(self.take(length, what).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise SnapshotError(f"{what} is not valid JSON: {exc}") from exc
+
+
+def _decode_payload(payload: bytes) -> SnapshotBatch:
+    reader = _PayloadReader(payload)
+    meta = reader.json_obj(MAX_HEADER_BYTES, "record meta")
+    if not isinstance(meta, dict):
+        raise SnapshotError("record meta must be a JSON object")
+    count = reader.u32("vector count")
+    dims = reader.u32("vector dims")
+    if dims > MAX_DIMS:
+        raise SnapshotError(f"vector dims {dims} exceeds {MAX_DIMS}")
+    total = count * dims
+    if total * 8 > MAX_RECORD_BYTES:
+        raise SnapshotError(f"embedding blob of {total} floats exceeds the bound")
+    blob = reader.take(total * 8, "embedding blob")
+    flat = struct.unpack(f"<{total}d", blob)
+    vectors = [list(flat[row * dims : (row + 1) * dims]) for row in range(count)]
+    labels = reader.json_obj(MAX_RECORD_BYTES, "record labels")
+    if not isinstance(labels, list) or len(labels) != count:
+        raise SnapshotError(
+            f"record labels must be a list of {count} strings, got {labels!r:.80}"
+        )
+    for label in labels:
+        if not isinstance(label, str):
+            raise SnapshotError("record labels must all be strings")
+    return SnapshotBatch(meta=meta, vectors=vectors, labels=labels)
+
+
+class SnapshotWriter:
+    """Appends checksummed batches to a snapshot file, fsyncing each one."""
+
+    def __init__(self, handle: BinaryIO, path: str) -> None:
+        self._handle = handle
+        self.path = path
+
+    @classmethod
+    def create(cls, path: str, header: Dict[str, Any]) -> "SnapshotWriter":
+        """Start a new snapshot file (truncating any previous one)."""
+        header_json = json.dumps(
+            header, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if len(header_json) > MAX_HEADER_BYTES:
+            raise SnapshotError(f"snapshot header of {len(header_json)} bytes")
+        handle = open(path, "wb")
+        handle.write(
+            MAGIC + _U32.pack(len(header_json)) + header_json + _checksum(header_json)
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(handle, path)
+
+    def append(
+        self,
+        vectors: Sequence[Sequence[float]],
+        labels: Sequence[str],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one batch; durable (flushed and fsynced) before returning."""
+        payload = _encode_payload(vectors, labels, dict(meta or {}))
+        if len(payload) > MAX_RECORD_BYTES:
+            raise SnapshotError(f"snapshot record of {len(payload)} bytes")
+        self._handle.write(_U32.pack(len(payload)) + _checksum(payload) + payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """The snapshot's header object; raises :class:`SnapshotError` if corrupt."""
+    header, _, _ = read_snapshot(path, header_only=True)
+    return header
+
+
+def read_snapshot(
+    path: str, header_only: bool = False
+) -> Tuple[Dict[str, Any], List[SnapshotBatch], bool]:
+    """Decode a snapshot file into ``(header, batches, truncated)``.
+
+    A torn or checksum-corrupt **final** record is dropped and reported via
+    ``truncated=True`` (the crash-recovery case).  Corruption anywhere else —
+    bad magic, bad header checksum, a mid-file record that fails its checksum
+    with valid records after it would have been unreachable anyway because
+    decoding stops at the first bad record — raises :class:`SnapshotError`.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if len(data) < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
+        raise SnapshotError(
+            f"{path!r} is not a snapshot file (bad magic "
+            f"{data[: len(MAGIC)]!r})"
+        )
+    offset = len(MAGIC)
+    if len(data) < offset + _U32.size:
+        raise SnapshotError(f"{path!r}: truncated before the header length")
+    (header_len,) = _U32.unpack(data[offset : offset + _U32.size])
+    offset += _U32.size
+    if header_len > MAX_HEADER_BYTES:
+        raise SnapshotError(f"{path!r}: header length {header_len} is implausible")
+    if len(data) < offset + header_len + _DIGEST_BYTES:
+        raise SnapshotError(f"{path!r}: truncated inside the header")
+    header_json = data[offset : offset + header_len]
+    offset += header_len
+    digest = data[offset : offset + _DIGEST_BYTES]
+    offset += _DIGEST_BYTES
+    if digest != _checksum(header_json):
+        raise SnapshotError(f"{path!r}: header checksum mismatch")
+    try:
+        header = json.loads(header_json.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise SnapshotError(f"{path!r}: header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise SnapshotError(f"{path!r}: header must be a JSON object")
+    if header_only:
+        return header, [], False
+    batches: List[SnapshotBatch] = []
+    truncated = False
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _U32.size + _DIGEST_BYTES:
+            truncated = True
+            break
+        (record_len,) = _U32.unpack(data[offset : offset + _U32.size])
+        if record_len > MAX_RECORD_BYTES:
+            # A hostile/corrupt length cannot be distinguished from a tear by
+            # reading on, but it must never drive an allocation.
+            truncated = True
+            break
+        body_start = offset + _U32.size + _DIGEST_BYTES
+        if body_start + record_len > len(data):
+            truncated = True
+            break
+        digest = data[offset + _U32.size : body_start]
+        payload = data[body_start : body_start + record_len]
+        if digest != _checksum(payload):
+            truncated = True
+            break
+        # The checksum held, so a decode failure here is real corruption (or
+        # a version skew), not a torn write — fail loudly.
+        batches.append(_decode_payload(payload))
+        offset = body_start + record_len
+    return header, batches, truncated

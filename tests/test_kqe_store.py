@@ -1,0 +1,323 @@
+"""Tests for the matrix-backed vector store and the LSH prefilter."""
+
+import math
+
+import pytest
+
+from repro.kqe.graph_index import GraphIndex
+from repro.kqe.lsh import SignRandomProjectionLSH, hyperplane_stream
+from repro.kqe.store import (
+    EntryBatch,
+    VectorStore,
+    quantize_to_float32,
+    resolve_numpy,
+)
+
+np = resolve_numpy(True)
+
+
+def synthetic_vectors(count, dims, seed="test-vectors"):
+    """Deterministic synthetic embeddings (no ambient RNG in the test either)."""
+    flat = hyperplane_stream(seed, count * dims)
+    return [flat[i * dims : (i + 1) * dims] for i in range(count)]
+
+
+def exact_cosine(a, b):
+    dot = sum(x * y for x, y in zip(a, b))
+    na = math.sqrt(sum(x * x for x in a))
+    nb = math.sqrt(sum(x * x for x in b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return dot / (na * nb)
+
+
+class TestQuantize:
+    def test_round_trip_is_idempotent(self):
+        values = [0.1, -2.5, 3.0e-20, 1.0 / 3.0]
+        once = quantize_to_float32(values)
+        assert quantize_to_float32(once) == once
+
+    def test_float32_representables_pass_through(self):
+        assert quantize_to_float32([1.0, -0.5, 0.25, 2.0]) == [1.0, -0.5, 0.25, 2.0]
+
+
+class TestVectorStore:
+    def test_short_vectors_are_zero_padded(self):
+        store = VectorStore(dims=4)
+        store.append([1.0, 2.0])
+        assert list(store.row(0)) == [1.0, 2.0, 0.0, 0.0]
+
+    def test_long_vectors_widen_the_store(self):
+        store = VectorStore(dims=2)
+        store.append([1.0, 2.0])
+        store.append([3.0, 4.0, 5.0])
+        assert store.dims == 3
+        assert list(store.row(0)) == [1.0, 2.0, 0.0]
+        assert list(store.row(1)) == [3.0, 4.0, 5.0]
+
+    def test_row_bounds_are_checked(self):
+        store = VectorStore(dims=2)
+        store.append([1.0, 0.0])
+        with pytest.raises(IndexError):
+            store.row(1)
+
+    def test_empty_store_and_empty_candidates(self):
+        store = VectorStore(dims=2)
+        assert store.top_k([1.0, 0.0], 5) == []
+        store.append([1.0, 0.0])
+        assert store.top_k([1.0, 0.0], 0) == []
+        assert store.top_k([1.0, 0.0], 5, candidates=[]) == []
+
+    @pytest.mark.skipif(np is None, reason="numpy unavailable")
+    def test_numpy_and_python_backends_agree(self):
+        dims = 16
+        vectors = synthetic_vectors(200, dims)
+        fast = VectorStore(dims=dims, use_numpy=True)
+        slow = VectorStore(dims=dims, use_numpy=False)
+        for vector in vectors:
+            fast.append(vector)
+            slow.append(vector)
+        for query in synthetic_vectors(20, dims, seed="queries"):
+            got = fast.top_k(query, 5)
+            want = slow.top_k(query, 5)
+            assert [index for index, _ in got] == [index for index, _ in want]
+            for (_, a), (_, b) in zip(got, want):
+                assert a == pytest.approx(b, abs=1e-9)
+
+    def test_scores_match_exact_cosine(self):
+        dims = 8
+        vectors = synthetic_vectors(50, dims)
+        store = VectorStore(dims=dims)
+        for vector in vectors:
+            store.append(vector)
+        query = synthetic_vectors(1, dims, seed="q")[0]
+        (best, score), *_ = store.top_k(query, 1)
+        assert score == pytest.approx(exact_cosine(query, vectors[best]), abs=1e-12)
+
+    def test_ties_break_toward_lower_row_index(self):
+        store = VectorStore(dims=2)
+        for _ in range(4):
+            store.append([1.0, 0.0])
+        store.append([0.0, 1.0])
+        result = store.top_k([1.0, 0.0], 3)
+        assert [index for index, _ in result] == [0, 1, 2]
+
+    def test_candidate_restriction(self):
+        store = VectorStore(dims=2)
+        for vector in ([1.0, 0.0], [1.0, 0.0], [0.0, 1.0]):
+            store.append(vector)
+        result = store.top_k([1.0, 0.0], 2, candidates=[1, 2])
+        assert [index for index, _ in result] == [1, 2]
+
+    def test_query_longer_than_store_is_exact(self):
+        # Components past the store's width meet only implicit zeros; the
+        # full query norm must still be in the denominator.
+        store = VectorStore(dims=2)
+        store.append([1.0, 0.0])
+        ((_, score),) = store.top_k([1.0, 0.0, 1.0], 1)
+        assert score == pytest.approx(1.0 / math.sqrt(2.0), abs=1e-12)
+
+    def test_zero_vectors_score_zero(self):
+        store = VectorStore(dims=2)
+        store.append([0.0, 0.0])
+        ((_, score),) = store.top_k([1.0, 0.0], 1)
+        assert score == 0.0
+
+    def test_disable_numpy_env_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        assert resolve_numpy(None) is None
+        assert not VectorStore(dims=2).uses_numpy
+
+
+class TestEntryBatch:
+    def make_store(self, pairs):
+        store = VectorStore(dims=2)
+        labels = []
+        for vector, label in pairs:
+            store.append(vector)
+            labels.append(label)
+        return store, labels
+
+    def test_list_compatibility(self):
+        pairs = [([1.0, 0.0], "A"), ([0.0, 1.0], "B")]
+        store, labels = self.make_store(pairs)
+        batch = EntryBatch(store, labels, 0)
+        assert len(batch) == 2
+        assert batch == pairs
+        assert [label for _, label in batch] == ["A", "B"]
+        vector, label = batch[-1]
+        assert (list(vector), label) == ([0.0, 1.0], "B")
+        with pytest.raises(IndexError):
+            batch[2]
+
+    def test_view_is_pinned_while_the_store_grows(self):
+        pairs = [([1.0, 0.0], "A")]
+        store, labels = self.make_store(pairs)
+        batch = EntryBatch(store, labels, 0)
+        store.append([0.5, 0.5])
+        assert len(batch) == 1
+        assert batch == pairs
+
+    def test_inequality(self):
+        store, labels = self.make_store([([1.0, 0.0], "A")])
+        batch = EntryBatch(store, labels, 0)
+        assert batch != [([1.0, 0.0], "B")]
+        assert batch != [([2.0, 0.0], "A")]
+        assert batch != []
+
+    def test_to_wire_quantizes_exactly_once(self):
+        store = VectorStore(dims=2)
+        store.append([1.0 / 3.0, 0.1])
+        batch = EntryBatch(store, ["A"], 0)
+        (vector, label), = batch.to_wire()
+        assert label == "A"
+        assert vector == quantize_to_float32([1.0 / 3.0, 0.1])
+        # Already-quantized values survive a second trip bit-identically.
+        assert quantize_to_float32(vector) == vector
+
+    @pytest.mark.skipif(np is None, reason="numpy unavailable")
+    def test_to_wire_matches_between_backends(self):
+        dims = 8
+        vectors = synthetic_vectors(20, dims)
+        fast = VectorStore(dims=dims, use_numpy=True)
+        slow = VectorStore(dims=dims, use_numpy=False)
+        for vector in vectors:
+            fast.append(vector)
+            slow.append(vector)
+        labels = [f"L{i}" for i in range(len(vectors))]
+        assert (
+            EntryBatch(fast, labels, 0).to_wire()
+            == EntryBatch(slow, labels, 0).to_wire()
+        )
+
+
+class TestHyperplaneStream:
+    def test_deterministic_and_bounded(self):
+        first = hyperplane_stream("seed", 100)
+        assert first == hyperplane_stream("seed", 100)
+        assert first != hyperplane_stream("other", 100)
+        assert all(-1.0 <= value < 1.0 for value in first)
+
+    def test_prefix_stability(self):
+        # Asking for more floats must not change the ones already streamed.
+        assert hyperplane_stream("seed", 200)[:100] == hyperplane_stream("seed", 100)
+
+
+class TestSignRandomProjectionLSH:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SignRandomProjectionLSH(dims=0)
+        with pytest.raises(ValueError):
+            SignRandomProjectionLSH(dims=4, bits=31)
+        with pytest.raises(ValueError):
+            SignRandomProjectionLSH(dims=4, tables=0)
+
+    def test_same_config_builds_identical_tables(self):
+        dims = 16
+        vectors = synthetic_vectors(100, dims)
+        first = SignRandomProjectionLSH(dims=dims, seed_material="kqe-lsh:v1:16:2")
+        second = SignRandomProjectionLSH(dims=dims, seed_material="kqe-lsh:v1:16:2")
+        for index, vector in enumerate(vectors):
+            first.insert(index, vector)
+            second.insert(index, vector)
+        for query in synthetic_vectors(10, dims, seed="queries"):
+            assert first.candidates(query) == second.candidates(query)
+
+    @pytest.mark.skipif(np is None, reason="numpy unavailable")
+    def test_numpy_and_python_keys_agree(self):
+        dims = 12
+        fast = SignRandomProjectionLSH(dims=dims, use_numpy=True)
+        slow = SignRandomProjectionLSH(dims=dims, use_numpy=False)
+        for vector in synthetic_vectors(50, dims):
+            assert fast.keys(vector) == slow.keys(vector)
+
+    @pytest.mark.skipif(np is None, reason="numpy unavailable")
+    def test_insert_matrix_matches_per_row_inserts(self):
+        dims = 16
+        vectors = synthetic_vectors(64, dims)
+        one_by_one = SignRandomProjectionLSH(dims=dims)
+        bulk = SignRandomProjectionLSH(dims=dims)
+        for index, vector in enumerate(vectors):
+            one_by_one.insert(index, vector)
+        bulk.insert_matrix(0, np.asarray(vectors))
+        assert len(bulk) == len(one_by_one) == 64
+        for query in synthetic_vectors(10, dims, seed="queries"):
+            assert bulk.candidates(query) == one_by_one.candidates(query)
+
+    def test_self_query_finds_itself(self):
+        dims = 16
+        vectors = synthetic_vectors(200, dims)
+        lsh = SignRandomProjectionLSH(dims=dims)
+        for index, vector in enumerate(vectors):
+            lsh.insert(index, vector)
+        # A stored vector collides with itself in every table: perfect recall
+        # on exact matches, the floor any prefilter must clear.
+        for index, vector in enumerate(vectors):
+            assert index in lsh.candidates(vector)
+
+
+class TestApproximateNearest:
+    def make_index(self, count, lsh_min_size):
+        index = GraphIndex(lsh_min_size=lsh_min_size)
+        dims = index.embedder.dimensions
+        for position, vector in enumerate(synthetic_vectors(count, dims)):
+            index.add_embedding(vector, f"L{position}")
+        return index
+
+    def test_small_indexes_use_the_exact_scan(self):
+        index = self.make_index(64, lsh_min_size=4096)
+        query = synthetic_vectors(1, index.embedder.dimensions, seed="q")[0]
+        assert index.nearest_by_vector(query, k=3) == index.nearest_by_vector(
+            query, k=3, approximate=False
+        )
+
+    def test_lsh_engages_and_finds_exact_matches(self):
+        index = self.make_index(300, lsh_min_size=100)
+        dims = index.embedder.dimensions
+        hits = 0
+        for position, vector in enumerate(synthetic_vectors(300, dims)):
+            result = index.nearest_by_vector(vector, k=1)
+            if result and result[0][0] == position:
+                hits += 1
+        # Self-queries collide with themselves in every table; the only misses
+        # allowed are ties (distinct rows with identical similarity).
+        assert hits >= 295
+
+
+class TestLegacyBucketSkew:
+    """Regression: the pre-LSH bucketing degenerated on realistic embeddings.
+
+    The old index bucketed each vector by ``argmax(vector) % bucket_count``.
+    KQE embeddings of real query graphs share their heaviest feature (the
+    ubiquitous join-skeleton tokens), so nearly everything landed in one
+    bucket and "approximate" lookups degenerated to full scans of it.  This
+    test documents that skew and pins the LSH replacement's spread.
+    """
+
+    def test_argmax_bucketing_collapses_on_shared_dominant_features(self):
+        dims = 16
+        bucket_count = 16
+        # Every vector shares one dominant feature (so argmax is constant)
+        # but the rest of the geometry genuinely differs between vectors.
+        base = [0.0] * dims
+        base[3] = 2.0
+        vectors = []
+        for noise in synthetic_vectors(200, dims, seed="skew"):
+            vectors.append([b + 0.9 * n for b, n in zip(base, noise)])
+
+        legacy_counts = [0] * bucket_count
+        for vector in vectors:
+            argmax = max(range(dims), key=lambda i: vector[i])
+            legacy_counts[argmax % bucket_count] += 1
+        # The legacy scheme: one bucket holds (nearly) every entry.
+        assert max(legacy_counts) >= 0.99 * len(vectors)
+
+        lsh = SignRandomProjectionLSH(dims=dims, tables=4, bits=8)
+        for index, vector in enumerate(vectors):
+            lsh.insert(index, vector)
+        largest = max(
+            max(len(rows) for rows in table.values()) for table in lsh._buckets
+        )
+        # Sign projections split on the *noise*, not the shared dominant
+        # component, so no single bucket degenerates into a full scan.
+        assert largest <= 0.5 * len(vectors)
