@@ -79,7 +79,7 @@ from repro.engine import (
 )
 from repro.kqe import KQE, KQEConfig
 from repro.optimizer import HintSet, standard_hint_sets
-from repro.plan import JoinType, QuerySpec
+from repro.plan import CompoundQuerySpec, JoinType, QuerySpec, SetOperator
 
 __version__ = "1.0.0"
 
@@ -115,8 +115,10 @@ __all__ = [
     "ParallelSearchSimulator",
     "QueryCache",
     "QueryReducer",
+    "CompoundQuerySpec",
     "QuerySpec",
     "ResultSet",
+    "SetOperator",
     "SQLDialectSpec",
     "SQLITE_DIALECT",
     "SQLRenderer",

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.catalog.schema import DatabaseSchema
 from repro.engine.resultset import ResultSet
 from repro.errors import BackendError
-from repro.plan.logical import QuerySpec
+from repro.plan.logical import AnyQuerySpec
 from repro.storage.database import Database
 
 
@@ -104,11 +104,11 @@ class BackendAdapter:
 
     # ------------------------------------------------------------ execution
 
-    def execute(self, query: QuerySpec) -> BackendExecution:
+    def execute(self, query: AnyQuerySpec) -> BackendExecution:
         """Execute one logical query and return its result set."""
         raise NotImplementedError
 
-    def execute_many(self, queries: Sequence[QuerySpec]
+    def execute_many(self, queries: Sequence[AnyQuerySpec]
                      ) -> List[BackendExecution]:
         """Execute a batch of queries, one :class:`BackendExecution` each.
 
@@ -129,7 +129,7 @@ class BackendAdapter:
                 executions.append(BackendExecution(error=error))
         return executions
 
-    def explain(self, query: QuerySpec) -> str:
+    def explain(self, query: AnyQuerySpec) -> str:
         """Return the backend's plan description for *query*."""
         raise NotImplementedError
 

@@ -23,7 +23,7 @@ from repro.backends.sqlrender import SQLRenderer
 from repro.catalog.schema import DatabaseSchema
 from repro.engine.resultset import ResultSet
 from repro.errors import BackendError
-from repro.plan.logical import QuerySpec
+from repro.plan.logical import AnyQuerySpec
 from repro.storage.database import Database
 from repro.sqlvalue.values import null_if_none
 
@@ -126,7 +126,7 @@ class RenderedSQLBackend(BackendAdapter):
                 for row in cursor.fetchall()]
         return ResultSet(columns, rows)
 
-    def _render_query(self, query: QuerySpec) -> str:
+    def _render_query(self, query: AnyQuerySpec) -> str:
         """Render *query*, via the render cache when one is attached.
 
         The key is content-addressed on (backend name, canonical SQL), so a
@@ -145,7 +145,7 @@ class RenderedSQLBackend(BackendAdapter):
         self.query_cache.put(key, sql, "render")
         return sql
 
-    def execute(self, query: QuerySpec) -> BackendExecution:
+    def execute(self, query: AnyQuerySpec) -> BackendExecution:
         registry = obs.get_registry()
         with registry.span("render"):
             sql = self._render_query(query)
@@ -161,7 +161,7 @@ class RenderedSQLBackend(BackendAdapter):
             result = ResultSet(names, result.rows)
         return BackendExecution(result=result, sql=sql)
 
-    def explain(self, query: QuerySpec) -> str:
+    def explain(self, query: AnyQuerySpec) -> str:
         sql = self.renderer.query(query)
         try:
             cursor = self._run(f"{self.explain_prefix} {sql}")

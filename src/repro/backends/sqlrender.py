@@ -50,8 +50,11 @@ from repro.expr.ast import (
     Literal,
     Not,
     Or,
+    ScalarSubquery,
 )
 from repro.plan.logical import (
+    AnyQuerySpec,
+    CompoundQuerySpec,
     JoinStep,
     JoinType,
     QuerySpec,
@@ -93,6 +96,16 @@ class SQLDialectSpec:
     supports_hint_comments:
         Whether ``/*+ ... */`` hint comments are meaningful; when False they are
         omitted entirely rather than shipped as noise.
+    supports_nulls_ordering:
+        Whether ``NULLS FIRST`` / ``NULLS LAST`` parses in ORDER BY.  The
+        reference executor sorts NULLs first ascending and last descending,
+        so the renderer always spells the placement out where supported;
+        dialects without the syntax (MySQL, SQLite < 3.30) happen to default
+        to exactly the reference placement, so omission stays sound there.
+    supports_ctes:
+        Whether ``WITH name AS (...)`` common table expressions parse;
+        rendering a CTE on a dialect without them raises
+        :class:`~repro.errors.RenderError` so the oracle skips the query.
     real_division:
         Render ``a / b`` with the operands cast to REAL.  The reference
         executor divides in the decimal domain (``7 / 2 = 3.5``); engines with
@@ -114,6 +127,8 @@ class SQLDialectSpec:
     supports_right_join: bool = True
     supports_full_outer_join: bool = True
     supports_hint_comments: bool = False
+    supports_nulls_ordering: bool = True
+    supports_ctes: bool = True
     real_division: bool = False
     enforce_not_null: bool = False
     type_overrides: Mapping[str, str] = field(default_factory=dict)
@@ -147,6 +162,9 @@ SQLITE_DIALECT = SQLDialectSpec(
     # the renderer must refuse up front and let the oracle skip the query.
     supports_right_join=sqlite3.sqlite_version_info >= (3, 39, 0),
     supports_full_outer_join=sqlite3.sqlite_version_info >= (3, 39, 0),
+    # NULLS FIRST/LAST landed in SQLite 3.30.0; older runtimes default to
+    # the reference placement anyway (NULLs first ASC, last DESC).
+    supports_nulls_ordering=sqlite3.sqlite_version_info >= (3, 30, 0),
     # Map every IR type onto the SQLite affinity that matches the reference
     # executor's comparison domain: integers stay exact (INTEGER), decimals ride
     # NUMERIC, floats ride REAL, and strings/temporals ride TEXT so that
@@ -178,6 +196,9 @@ MYSQL_DIALECT = SQLDialectSpec(
     null_safe_equal="<=>",
     supports_full_outer_join=False,
     supports_hint_comments=True,
+    # MySQL has no NULLS FIRST/LAST syntax; its default placement (NULLs
+    # first ascending, last descending) already matches the reference.
+    supports_nulls_ordering=False,
 )
 """Rendering profile for a future MySQL/MariaDB adapter."""
 
@@ -297,6 +318,8 @@ class SQLRenderer:
         if isinstance(expr, ExistsSubquery):
             keyword = "NOT EXISTS" if expr.negated else "EXISTS"
             return f"({keyword} ({self.query(expr.subquery)}))"
+        if isinstance(expr, ScalarSubquery):
+            return f"({self.query(expr.subquery)})"
         if isinstance(expr, Arithmetic):
             left = self.expression(expr.left)
             right = self.expression(expr.right)
@@ -343,8 +366,42 @@ class SQLRenderer:
             condition += f" AND {self.expression(step.extra_condition)}"
         return f"{_JOIN_KEYWORDS[step.join_type]} {self.table_ref(step.table)} ON {condition}"
 
-    def query(self, spec: QuerySpec, hint_comment: str = "") -> str:
-        """Render a full SELECT statement (without the trailing semicolon)."""
+    def query(self, spec: AnyQuerySpec, hint_comment: str = "") -> str:
+        """Render a full statement (without the trailing semicolon).
+
+        Dispatches on the spec type: plain SELECTs render directly, compound
+        specs (set operations, optionally CTE-wrapped) through
+        :meth:`compound_query`.
+        """
+        if isinstance(spec, CompoundQuerySpec):
+            return self.compound_query(spec, hint_comment)
+        return self.select_query(spec, hint_comment)
+
+    def compound_query(self, spec: CompoundQuerySpec,
+                       hint_comment: str = "") -> str:
+        """Render a set-operation query, wrapped in a CTE when named.
+
+        The CTE form is ``WITH name AS (<body>) SELECT <columns> FROM name``:
+        a pass-through outer projection over the named body, which keeps the
+        result identical to the body (so the reference executor can inline it)
+        while the engine exercises its CTE machinery.
+        """
+        spec.validate()
+        parts = [self.select_query(spec.arms[0], hint_comment)]
+        for op, arm in zip(spec.operators, spec.arms[1:]):
+            parts.append(op.render())
+            parts.append(self.select_query(arm))
+        body = "\n".join(parts)
+        if spec.cte_name is None:
+            return body
+        if not self.dialect.supports_ctes:
+            raise RenderError(f"{self.dialect.name} does not support WITH clauses")
+        columns = ", ".join(self.ident(name) for name in spec.output_columns())
+        cte = self.ident(spec.cte_name)
+        return f"WITH {cte} AS (\n{body}\n)\nSELECT {columns} FROM {cte}"
+
+    def select_query(self, spec: QuerySpec, hint_comment: str = "") -> str:
+        """Render one plain SELECT statement (without the trailing semicolon)."""
         output_names = unique_output_names(spec.select)
         select_items = ", ".join(
             self._select_item(item, name)
@@ -378,10 +435,13 @@ class SQLRenderer:
         if spec.order_by:
             rendered = []
             for item in spec.order_by:
-                rendered.append(
-                    self.expression(item.expression)
-                    + (" DESC" if item.descending else "")
-                )
+                text = (self.expression(item.expression)
+                        + (" DESC" if item.descending else ""))
+                if self.dialect.supports_nulls_ordering:
+                    # Matches the reference executor's value_sort_key order;
+                    # dialects without the syntax default to this placement.
+                    text += f" {item.nulls_placement()}"
+                rendered.append(text)
             parts.append("ORDER BY " + ", ".join(rendered))
         if spec.limit is not None:
             parts.append(f"LIMIT {int(spec.limit)}")

@@ -32,6 +32,7 @@ from repro.core.execpipe import PipelineConfig
 from repro.core.qcache import QueryCache
 from repro.core.tqs import TQS, TQSConfig
 from repro.dsg.pipeline import DSG, DSGConfig
+from repro.dsg.query_gen import GenerationConfig
 from repro.engine.dialects import DialectProfile, dialect_by_name
 from repro.engine.engine import Engine, reference_engine
 from repro.errors import CampaignError, GenerationError
@@ -100,6 +101,12 @@ class CampaignConfig:
     # both leave verdicts bit-identical (see repro.core.qcache).
     reference_executor: str = "row"
     use_query_cache: bool = False
+    # Widened-grammar probabilities (set operations, scalar subqueries,
+    # CTEs).  0.0 keeps the classic join-query-only grammar and, by the
+    # no-draw gating in the generator, byte-identical RNG streams.
+    setop_probability: float = 0.0
+    scalar_subquery_probability: float = 0.0
+    cte_probability: float = 0.0
 
     def dsg_config(self) -> DSGConfig:
         """The DSG configuration implied by this campaign."""
@@ -110,6 +117,11 @@ class CampaignConfig:
             inject_noise=self.use_noise,
             adversarial_pairs=self.use_noise,
             max_hint_sets=self.max_hint_sets,
+            generation=GenerationConfig(
+                setop_probability=self.setop_probability,
+                scalar_subquery_probability=self.scalar_subquery_probability,
+                cte_probability=self.cte_probability,
+            ),
         )
 
 
@@ -151,6 +163,9 @@ class CampaignSpec:
     max_hint_sets: Optional[int] = None
     reference_executor: str = "row"
     use_query_cache: bool = False
+    setop_probability: float = 0.0
+    scalar_subquery_probability: float = 0.0
+    cte_probability: float = 0.0
     pipeline_batch_size: int = 1
     workers: int = 1
 
@@ -168,6 +183,9 @@ class CampaignSpec:
             max_hint_sets=self.max_hint_sets,
             reference_executor=self.reference_executor,
             use_query_cache=self.use_query_cache,
+            setop_probability=self.setop_probability,
+            scalar_subquery_probability=self.scalar_subquery_probability,
+            cte_probability=self.cte_probability,
         )
 
     def pipeline_config(self) -> Optional[PipelineConfig]:

@@ -9,8 +9,11 @@ as sets under canonical numeric forms, floats within tolerance), and any
 disagreement is filed through the existing :class:`~repro.core.bug_report.BugLog`.
 
 The normalization rules mirror the repo's own result-set semantics
-(:meth:`~repro.engine.resultset.ResultSet.normalized`): generated queries are
-DISTINCT projections, so sets — not multisets — are the comparison domain, and
+(:meth:`~repro.engine.resultset.ResultSet.normalized` /
+:meth:`~repro.engine.resultset.ResultSet.normalized_bag`): the comparison
+domain is selected per query shape by :func:`preserves_duplicates` — sets for
+DISTINCT projections and aggregates, multisets where duplicates are part of
+the answer (UNION ALL compounds) — and
 :func:`~repro.sqlvalue.comparison.values_close` absorbs representation drift
 such as the reference's exact ``Decimal`` vs a backend's ``REAL``.
 """
@@ -33,7 +36,7 @@ from repro.errors import BackendError, GenerationError, RenderError
 from repro.kqe.explorer import KQE
 from repro.kqe.isomorphism import IsomorphicSetCounter
 from repro.kqe.query_graph import QueryGraphBuilder
-from repro.plan.logical import QuerySpec
+from repro.plan.logical import AnyQuerySpec, CompoundQuerySpec
 from repro.sqlvalue.comparison import values_close
 from repro.sqlvalue.values import row_sort_key
 
@@ -49,18 +52,46 @@ class DifferentialConfig:
     seed: int = 97
 
 
+def preserves_duplicates(query: AnyQuerySpec) -> bool:
+    """Whether *query*'s result is a multiset, selecting the comparison mode.
+
+    DISTINCT projections and aggregates produce sets; a compound with UNION
+    ALL (or a plain non-DISTINCT, non-aggregated projection) can legitimately
+    emit duplicate rows, where the multiplicity itself is part of the answer
+    — two engines returning ``[1, 1]`` vs ``[1]`` disagree.
+    """
+    if isinstance(query, CompoundQuerySpec):
+        return query.preserves_duplicates()
+    return not query.distinct and not query.has_aggregates()
+
+
 def result_sets_match(reference: ResultSet, observed: ResultSet,
-                      rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
-    """Order-insensitive, duplicate-insensitive, float-tolerant set equality."""
-    ref_rows = reference.normalized()
-    obs_rows = observed.normalized()
-    if ref_rows == obs_rows:
-        return True
-    # Tolerant fallback: compare the deduplicated rows pairwise in sorted
+                      rel_tol: float = 1e-9, abs_tol: float = 1e-12,
+                      bag: bool = False) -> bool:
+    """Order-insensitive, float-tolerant result equality.
+
+    With ``bag=False`` (the sound mode for DISTINCT projections) rows compare
+    as sets — duplicate-insensitive.  With ``bag=True`` rows compare as
+    multisets: each normalized row's multiplicity must agree, which is what
+    UNION ALL results require.
+    """
+    if bag:
+        if reference.normalized_bag() == observed.normalized_bag():
+            return True
+        ref_sorted = sorted(reference.normalized_bag().elements(),
+                            key=row_sort_key)
+        obs_sorted = sorted(observed.normalized_bag().elements(),
+                            key=row_sort_key)
+    else:
+        ref_rows = reference.normalized()
+        obs_rows = observed.normalized()
+        if ref_rows == obs_rows:
+            return True
+        ref_sorted = sorted(ref_rows, key=row_sort_key)
+        obs_sorted = sorted(obs_rows, key=row_sort_key)
+    # Tolerant fallback: compare the (de)duplicated rows pairwise in sorted
     # order, allowing per-cell float drift.  Rows whose sort position shifts
     # under drift larger than the tolerance are genuine mismatches anyway.
-    ref_sorted = sorted(ref_rows, key=row_sort_key)
-    obs_sorted = sorted(obs_rows, key=row_sort_key)
     if len(ref_sorted) != len(obs_sorted):
         return False
     for ref_row, obs_row in zip(ref_sorted, obs_sorted):
@@ -77,7 +108,7 @@ def result_sets_match(reference: ResultSet, observed: ResultSet,
 class DifferentialOutcome:
     """What one differential iteration observed."""
 
-    query: QuerySpec
+    query: AnyQuerySpec
     canonical_label: str
     sql: str
     matched: bool
@@ -109,7 +140,7 @@ class DifferentialOracle:
         self.skipped = 0
         self._dataset_fingerprint: Optional[str] = None
 
-    def execute_reference(self, query: QuerySpec,
+    def execute_reference(self, query: AnyQuerySpec,
                           label: str = "") -> ResultSet:
         """Run *query* on the reference engine, through the result cache.
 
@@ -142,7 +173,7 @@ class DifferentialOracle:
         cache.put(key, result, "result")
         return result
 
-    def precheck(self, query: QuerySpec,
+    def precheck(self, query: AnyQuerySpec,
                  label: str = "") -> Optional[DifferentialOutcome]:
         """The pre-execution skip decision; a skip outcome or None.
 
@@ -160,7 +191,7 @@ class DifferentialOracle:
             )
         return None
 
-    def judge(self, query: QuerySpec, label: str,
+    def judge(self, query: AnyQuerySpec, label: str,
               execution: BackendExecution,
               reference_result: Optional[ResultSet]) -> DifferentialOutcome:
         """Turn one (execution, reference result) pair into a verdict.
@@ -188,6 +219,7 @@ class DifferentialOracle:
                 reference_result, execution.result,
                 rel_tol=self.config.float_rel_tol,
                 abs_tol=self.config.float_abs_tol,
+                bag=preserves_duplicates(query),
             )
         outcome = DifferentialOutcome(
             query=query,
@@ -212,7 +244,7 @@ class DifferentialOracle:
             outcome.incident = incident
         return outcome
 
-    def check(self, query: QuerySpec, label: str = "") -> DifferentialOutcome:
+    def check(self, query: AnyQuerySpec, label: str = "") -> DifferentialOutcome:
         """Run *query* on both sides and record any mismatch (serial path).
 
         The batched pipeline runs the same three stages — :meth:`precheck`,
@@ -293,12 +325,12 @@ class DifferentialTester:
         """Distinct query-graph isomorphism classes generated so far."""
         return self.diversity.distinct_sets
 
-    def _generate(self) -> QuerySpec:
+    def _generate(self) -> AnyQuerySpec:
         chooser = self.kqe.extension_chooser if self.kqe is not None else None
         last_error: Optional[Exception] = None
         for _ in range(self.config.max_generation_retries):
             try:
-                return self.dsg.generate_query(extension_chooser=chooser)
+                return self.dsg.generate_statement(extension_chooser=chooser)
             except GenerationError as error:
                 last_error = error
         raise GenerationError(f"query generation kept failing: {last_error}")

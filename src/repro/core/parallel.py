@@ -1181,6 +1181,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="memoize rendered SQL and reference results in "
                              "a per-shard content-addressed cache (verdicts "
                              "stay bit-identical)")
+    parser.add_argument("--setop-probability", type=float, default=0.0,
+                        help="probability a generated statement becomes a "
+                             "UNION / UNION ALL / INTERSECT / EXCEPT "
+                             "compound (differential campaigns; default: 0)")
+    parser.add_argument("--scalar-subquery-probability", type=float,
+                        default=0.0,
+                        help="probability of injecting an uncorrelated "
+                             "scalar subquery into a generated query "
+                             "(default: 0)")
+    parser.add_argument("--cte-probability", type=float, default=0.0,
+                        help="probability a generated statement is wrapped "
+                             "in a WITH clause (default: 0)")
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
@@ -1191,6 +1203,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         reference_executor=args.executor,
         use_query_cache=args.query_cache,
+        setop_probability=args.setop_probability,
+        scalar_subquery_probability=args.scalar_subquery_probability,
+        cte_probability=args.cte_probability,
     )
     parallel = ParallelCampaignConfig(
         workers=args.workers,

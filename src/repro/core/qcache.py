@@ -12,8 +12,11 @@ LRU that memoizes both halves:
   produced for one (backend, canonical SQL).
 
 Every key is *content-addressed*: a SHA-256 over the canonical query text
-(:meth:`~repro.plan.logical.QuerySpec.render`, the deterministic reference
-rendering), the :func:`dataset_fingerprint` of the exact table contents, and
+(:meth:`~repro.plan.logical.QuerySpec.render` /
+:meth:`~repro.plan.logical.CompoundQuerySpec.render`, the deterministic
+reference rendering — covering the widened grammar too: set-operation
+compounds, ``WITH`` wrappers and scalar subqueries all render canonically),
+the :func:`dataset_fingerprint` of the exact table contents, and
 the executor / backend names.  Nothing identity- or ordering-dependent may
 feed a key — no ``id()``, no ``hash()``, no raw dict iteration — which the
 ``DET003`` lint rule enforces over this module's import closure.  Canonical

@@ -127,6 +127,10 @@ def _str_field(obj: Dict[str, Any], key: str, where: str) -> str:
     return _str(_get(obj, key, where), f"{where} {key}")
 
 
+def _float_field(obj: Dict[str, Any], key: str, where: str) -> float:
+    return _float(_get(obj, key, where), f"{where} {key}")
+
+
 # ------------------------------------------------------------ payload codecs
 
 
@@ -276,6 +280,9 @@ def encode_campaign_config(config: Any) -> Dict[str, Any]:
         "max_hint_sets": config.max_hint_sets,
         "reference_executor": config.reference_executor,
         "use_query_cache": config.use_query_cache,
+        "setop_probability": config.setop_probability,
+        "scalar_subquery_probability": config.scalar_subquery_probability,
+        "cte_probability": config.cte_probability,
     }
 
 
@@ -302,6 +309,11 @@ def decode_campaign_config(value: Any) -> Any:
         use_query_cache=_bool(
             _get(obj, "use_query_cache", where), f"{where} use_query_cache"
         ),
+        setop_probability=_float_field(obj, "setop_probability", where),
+        scalar_subquery_probability=_float_field(
+            obj, "scalar_subquery_probability", where
+        ),
+        cte_probability=_float_field(obj, "cte_probability", where),
     )
 
 

@@ -24,7 +24,7 @@ from repro.dsg.query_gen import (
 )
 from repro.dsg.schema_graph import SchemaGraph
 from repro.dsg.widetable import WideTable
-from repro.plan.logical import QuerySpec
+from repro.plan.logical import AnyQuerySpec, QuerySpec
 from repro.storage.database import Database
 
 
@@ -118,8 +118,28 @@ class DSG:
 
     def generate_query(self, start_table: Optional[str] = None,
                        extension_chooser: Optional[ExtensionChooser] = None) -> QuerySpec:
-        """Generate one join query by random walk (Algorithm 1, line 10)."""
+        """Generate one join query by random walk (Algorithm 1, line 10).
+
+        Always a plain :class:`QuerySpec` — the shape the bitmap ground-truth
+        oracle supports.  The widened grammar (set operations, CTEs) lives in
+        :meth:`generate_statement`, whose compound shapes only the
+        differential oracle can adjudicate.
+        """
         return self.query_generator.generate(
+            start_table=start_table, extension_chooser=extension_chooser
+        )
+
+    def generate_statement(self, start_table: Optional[str] = None,
+                           extension_chooser: Optional[ExtensionChooser] = None
+                           ) -> AnyQuerySpec:
+        """Generate one statement from the widened grammar.
+
+        With the :class:`~repro.dsg.query_gen.GenerationConfig` probabilities
+        at their 0.0 defaults this is exactly :meth:`generate_query`; turning
+        on ``setop_probability`` / ``cte_probability`` admits
+        :class:`~repro.plan.logical.CompoundQuerySpec` results.
+        """
+        return self.query_generator.generate_statement(
             start_table=start_table, extension_chooser=extension_chooser
         )
 

@@ -19,24 +19,31 @@ query graph and may terminate the walk early (Algorithm 2).
 
 from __future__ import annotations
 
+import logging
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dsg.noise import NoiseReport
 from repro.dsg.normalization import NormalizedDatabase
 from repro.dsg.schema_graph import SchemaGraph
 from repro.errors import GenerationError
-from repro.expr.ast import ColumnRef, Expression, conjoin
+from repro.expr.ast import ColumnRef, Comparison, Expression, ScalarSubquery, conjoin
 from repro.expr.builder import PredicateBuilder
 from repro.plan.logical import (
     AggregateFunction,
+    AnyQuerySpec,
+    CompoundQuerySpec,
     JoinStep,
     JoinType,
     QuerySpec,
     SelectItem,
+    SetOperator,
     TableRef,
 )
+from repro.sqlvalue.datatypes import TypeCategory
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_JOIN_TYPE_WEIGHTS: Dict[JoinType, float] = {
     JoinType.INNER: 0.40,
@@ -61,7 +68,13 @@ class CandidateExtension:
 
 @dataclass
 class GenerationConfig:
-    """Knobs of the query generator."""
+    """Knobs of the query generator.
+
+    The three widened-grammar probabilities (set operations, scalar
+    subqueries, CTEs) default to 0.0, and the generator only draws from the
+    RNG for a feature when its probability is strictly positive — so existing
+    seeded campaigns replay byte-identically unless a knob is turned on.
+    """
 
     min_joins: int = 1
     max_joins: int = 4
@@ -69,6 +82,10 @@ class GenerationConfig:
     aggregate_probability: float = 0.08
     max_projections: int = 4
     allow_cross: bool = True
+    setop_probability: float = 0.0
+    scalar_subquery_probability: float = 0.0
+    cte_probability: float = 0.0
+    max_setop_arms: int = 3
     join_type_weights: Dict[JoinType, float] = field(
         default_factory=lambda: dict(DEFAULT_JOIN_TYPE_WEIGHTS)
     )
@@ -95,6 +112,7 @@ class RandomWalkQueryGenerator:
         self.config = config or GenerationConfig()
         self.graph = SchemaGraph(ndb.schema)
         self._predicates = PredicateBuilder(self.rng)
+        self.rejected_queries = 0
         if not self.graph.join_edges:
             raise GenerationError("schema graph has no join edges; nothing to generate")
 
@@ -198,6 +216,67 @@ class RandomWalkQueryGenerator:
             return select, group_columns
         return [SelectItem(ColumnRef(t, c)) for t, c in chosen], []
 
+    _NUMERIC_CATEGORIES = (TypeCategory.INTEGER, TypeCategory.DECIMAL,
+                           TypeCategory.FLOAT)
+
+    def _build_scalar_subquery(
+        self, exposed: Sequence[str], alias: str
+    ) -> Optional[Tuple[ColumnRef, ScalarSubquery]]:
+        """Build an uncorrelated single-row subquery domain-matched to a column.
+
+        The inner query is ``SELECT agg(col) FROM table AS <alias>`` — an
+        aggregate with no GROUP BY, so it returns exactly one row on every
+        engine (SQLite silently takes the first row of a multi-row scalar
+        subquery while DuckDB errors; single-row-by-construction sidesteps
+        that divergence).  Aggregates are restricted to the exact ones —
+        MIN / MAX, plus COUNT for integer columns — because AVG / SUM float
+        drift could flip a comparison at the boundary and surface as a fake
+        differential mismatch.  Columns are numeric only: MIN / MAX over
+        strings would compare under engine collations the reference executor
+        does not model.
+        """
+        pool = [
+            (table, column)
+            for table, column in self._column_pool(exposed)
+            if self.ndb.schema.table(table).column(column).dtype.category
+            in self._NUMERIC_CATEGORIES
+        ]
+        if not pool:
+            return None
+        table, column = self.rng.choice(pool)
+        category = self.ndb.schema.table(table).column(column).dtype.category
+        aggregates = [AggregateFunction.MIN, AggregateFunction.MAX]
+        if category is TypeCategory.INTEGER:
+            aggregates.append(AggregateFunction.COUNT)
+        aggregate = self.rng.choice(aggregates)
+        inner = QuerySpec(
+            base=TableRef(table, alias),
+            select=[SelectItem(ColumnRef(alias, column), aggregate=aggregate)],
+            distinct=False,
+        )
+        inner.validate()
+        return ColumnRef(table, column), ScalarSubquery(inner)
+
+    _SCALAR_COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "<>")
+
+    def _build_scalar_subquery_filter(
+        self, exposed: Sequence[str], alias: str
+    ) -> Optional[Expression]:
+        built = self._build_scalar_subquery(exposed, alias)
+        if built is None:
+            return None
+        outer_ref, subquery = built
+        op = self.rng.choice(self._SCALAR_COMPARISON_OPS)
+        return Comparison(op, outer_ref, subquery)
+
+    def _exposed_order(self, query: QuerySpec) -> List[str]:
+        """The exposed-table order of *query*, as `generate` computed it."""
+        return [query.base.table] + [
+            step.table.table
+            for step in query.joins
+            if step.join_type.exposes_right_columns
+        ]
+
     # ------------------------------------------------------------------ public
 
     def generate(
@@ -263,6 +342,25 @@ class RandomWalkQueryGenerator:
         select, group_by = self._build_select(exposed_order,
                                               allow_aggregates=not has_cross)
         where = self._build_filters(exposed_order)
+        subquery_probability = self.config.scalar_subquery_probability
+        if (subquery_probability > 0
+                and self.rng.random() < subquery_probability):
+            predicate = self._build_scalar_subquery_filter(exposed_order, "sq0")
+            if predicate is not None:
+                where = conjoin([where, predicate])
+        has_aggregates = bool(group_by) or any(
+            item.aggregate is not None for item in select
+        )
+        if (subquery_probability > 0 and not has_aggregates
+                and self.rng.random() < subquery_probability):
+            # Scalar subqueries as select items only appear in plain
+            # projections: mixing a bare subquery item into a GROUP BY
+            # query is rejected by stricter engines (DuckDB) unless it is
+            # grouped or aggregated.
+            built = self._build_scalar_subquery(exposed_order, "sq1")
+            if built is not None:
+                _, subquery = built
+                select = select + [SelectItem(subquery, alias="sq_value")]
         query = QuerySpec(
             base=base,
             joins=steps,
@@ -274,14 +372,87 @@ class RandomWalkQueryGenerator:
         query.validate()
         return query
 
-    def generate_many(self, count: int, **kwargs) -> List[QuerySpec]:
-        """Generate several queries (skipping start tables that cannot extend)."""
+    def generate_statement(
+        self,
+        start_table: Optional[str] = None,
+        walk_length: Optional[int] = None,
+        extension_chooser: Optional[ExtensionChooser] = None,
+    ) -> AnyQuerySpec:
+        """Generate one statement: a plain query, a set operation, or a CTE.
+
+        The first arm is a normal :meth:`generate` walk.  Further set-operation
+        arms are *structural twins* of it — same base, joins, select list and
+        grouping, with independently re-drawn WHERE filters.  Twins guarantee
+        identical column types per select position, which sidesteps
+        engine-specific implicit-cast widening on mixed-type UNIONs (DuckDB
+        coerces INT ∪ VARCHAR to VARCHAR; the reference executor has no such
+        lattice), while the differing filters still exercise real overlap:
+        INTERSECT / EXCEPT / UNION over partially-agreeing row sets.
+        """
+        query = self.generate(start_table=start_table, walk_length=walk_length,
+                              extension_chooser=extension_chooser)
+        config = self.config
+        arms = [query]
+        operators: List[SetOperator] = []
+        if (config.setop_probability > 0
+                and self.rng.random() < config.setop_probability):
+            operator = self.rng.choice([
+                SetOperator.UNION,
+                SetOperator.UNION_ALL,
+                SetOperator.INTERSECT,
+                SetOperator.EXCEPT,
+            ])
+            extra = self.rng.randint(1, max(1, config.max_setop_arms - 1))
+            exposed_order = self._exposed_order(query)
+            for _ in range(extra):
+                arms.append(replace(query,
+                                    where=self._build_filters(exposed_order)))
+            operators = [operator] * (len(arms) - 1)
+        cte_name = None
+        if (config.cte_probability > 0
+                and self.rng.random() < config.cte_probability):
+            cte_name = "cte0"
+        if len(arms) == 1 and cte_name is None:
+            return query
+        compound = CompoundQuerySpec(arms=arms, operators=operators,
+                                     cte_name=cte_name)
+        compound.validate()
+        return compound
+
+    def generate_many(
+        self,
+        count: int,
+        start_table: Optional[str] = None,
+        walk_length: Optional[int] = None,
+        extension_chooser: Optional[ExtensionChooser] = None,
+    ) -> List[QuerySpec]:
+        """Generate several queries (skipping start tables that cannot extend).
+
+        Rejections (walks that cannot produce a join step) are retried up to
+        ``10 * count`` attempts and tallied in :attr:`rejected_queries`.  A
+        shortfall is *reported*, not silently swallowed: callers sizing test
+        pools or campaign batches on ``count`` would otherwise never learn
+        they got fewer queries.
+        """
         queries: List[QuerySpec] = []
+        rejected = 0
         attempts = 0
-        while len(queries) < count and attempts < count * 10:
+        max_attempts = count * 10
+        while len(queries) < count and attempts < max_attempts:
             attempts += 1
             try:
-                queries.append(self.generate(**kwargs))
+                queries.append(self.generate(
+                    start_table=start_table,
+                    walk_length=walk_length,
+                    extension_chooser=extension_chooser,
+                ))
             except GenerationError:
-                continue
+                rejected += 1
+        self.rejected_queries += rejected
+        if len(queries) < count:
+            logger.warning(
+                "generate_many produced %d of %d requested queries "
+                "(%d attempts, %d rejected)",
+                len(queries), count, attempts, rejected,
+            )
         return queries

@@ -51,14 +51,18 @@ from repro.expr.ast import (
     Literal,
     Not,
     Or,
+    ScalarSubquery,
 )
 from repro.plan.logical import (
     AggregateFunction,
+    AnyQuerySpec,
+    CompoundQuerySpec,
     JoinStep,
     JoinType,
     OrderItem,
     QuerySpec,
     SelectItem,
+    combine_set_rows,
     unique_output_names,
 )
 from repro.plan.operators import _invert
@@ -128,10 +132,28 @@ class ColumnarExecutor(ExecutorBackend):
 
     # ----------------------------------------------------------- entry point
 
-    def execute(self, engine: Any, query: QuerySpec) -> ResultSet:
-        result = self._execute_spec(engine.database, query, [])
+    def execute(self, engine: Any, query: AnyQuerySpec) -> ResultSet:
+        if isinstance(query, CompoundQuerySpec):
+            result = self._execute_compound(engine.database, query)
+        else:
+            result = self._execute_spec(engine.database, query, [])
         engine.queries_executed += 1
         return result
+
+    def _execute_compound(self, database: Any,
+                          query: CompoundQuerySpec) -> ResultSet:
+        # Arms execute columnar (bit-identical to the row path per the
+        # executor contract); the fold itself is the one shared
+        # combine_set_rows implementation, so compound output is identical to
+        # the row engine's by construction.  CTE wrappers are inlined: the
+        # outer pass-through projection returns the body unchanged.
+        query.validate()
+        arm_results = [self._execute_spec(database, arm, []).rows
+                       for arm in query.arms]
+        rows = combine_set_rows(arm_results, query.operators)
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return ResultSet(query.output_columns(), rows)
 
     def _execute_spec(self, database: Any, query: QuerySpec,
                       subquery_cache: List[Tuple[QuerySpec, List[tuple]]]
@@ -533,6 +555,11 @@ class ColumnarExecutor(ExecutorBackend):
             result = bool(subquery_rows(expr.subquery))
             value = (not result) if expr.negated else result
             return [value] * nrows
+        if isinstance(expr, ScalarSubquery):
+            # Uncorrelated: one execution, the scalar broadcast to every row
+            # (the row path resolves the same cached rows per outer row).
+            scalar = ScalarSubquery.resolve_rows(subquery_rows(expr.subquery))
+            return [scalar] * nrows
         if isinstance(expr, Arithmetic):
             return self._eval_arithmetic(expr, frame, subquery_rows)
         if isinstance(expr, FunctionCall):

@@ -11,7 +11,12 @@ from repro.engine.faults import ActiveFaults
 from repro.engine.resultset import ResultSet
 from repro.optimizer.hints import HintSet, default_hints
 from repro.optimizer.planner import Planner
-from repro.plan.logical import QuerySpec
+from repro.plan.logical import (
+    AnyQuerySpec,
+    CompoundQuerySpec,
+    QuerySpec,
+    combine_set_rows,
+)
 from repro.plan.physical import ExecutionHooks, PhysicalOperator
 from repro.storage.database import Database
 
@@ -75,7 +80,7 @@ class Engine:
         """Return a textual plan description."""
         return self.plan(query, hints).explain()
 
-    def execute(self, query: QuerySpec, hints: Optional[HintSet] = None) -> ResultSet:
+    def execute(self, query: AnyQuerySpec, hints: Optional[HintSet] = None) -> ResultSet:
         """Execute *query* under *hints* and return its result set.
 
         A pluggable executor (``executor="columnar"``) only covers bug-free
@@ -90,10 +95,44 @@ class Engine:
             return self.executor.execute(self, query)
         return self.execute_with_report(query, hints).result
 
+    def _execute_compound(
+        self, query: CompoundQuerySpec, hints: Optional[HintSet]
+    ) -> ExecutionReport:
+        """Execute a set-operation query by folding its arm results.
+
+        Each arm runs through the normal (row) path — under the same hints
+        and fault hooks — and the shared :func:`combine_set_rows` fold merges
+        the arm outputs.  A ``cte_name`` wrapper is inlined: the outer CTE
+        projection is a pass-through, so the body's result *is* the result.
+        """
+        query.validate()
+        reports = [self.execute_with_report(arm, hints) for arm in query.arms]
+        rows = combine_set_rows([report.result.rows for report in reports],
+                                query.operators)
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        fired: Tuple[int, ...] = tuple(sorted(
+            {bug for report in reports for bug in report.fired_bug_ids}
+        ))
+        plan = "\n".join(
+            part
+            for report, op in zip(reports, list(query.operators) + [None])
+            for part in ([report.plan_description] +
+                         ([op.render()] if op is not None else []))
+        )
+        return ExecutionReport(
+            result=ResultSet(query.output_columns(), rows),
+            hints=reports[0].hints,
+            plan_description=plan,
+            fired_bug_ids=fired,
+        )
+
     def execute_with_report(
-        self, query: QuerySpec, hints: Optional[HintSet] = None
+        self, query: AnyQuerySpec, hints: Optional[HintSet] = None
     ) -> ExecutionReport:
         """Execute and also report the plan and which seeded bugs fired."""
+        if isinstance(query, CompoundQuerySpec):
+            return self._execute_compound(query, hints)
         hints = hints or default_hints()
         if isinstance(self.hooks, ActiveFaults):
             self.hooks.reset_fired()

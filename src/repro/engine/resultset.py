@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sqlvalue.values import is_null, normalize_row, row_sort_key
@@ -10,21 +11,26 @@ from repro.sqlvalue.values import is_null, normalize_row, row_sort_key
 class ResultSet:
     """An executed query's output: column names plus rows.
 
-    Rows are stored in the order the engine produced them, but comparisons are
-    order-insensitive and (by design of the DSG oracle) duplicate-insensitive:
-    the generated queries are DISTINCT projections, so two result sets are
-    considered equal when their sets of normalized rows coincide.
+    Rows are stored in the order the engine produced them, but comparisons
+    are order-insensitive.  Two comparison domains exist, selected by the
+    query shape: :meth:`same_rows` compares *sets* of normalized rows, sound
+    for the DISTINCT projections the DSG oracle generates, while
+    :meth:`same_bag` compares *multisets* — required the moment a query can
+    legitimately emit duplicates (UNION ALL compounds), where set comparison
+    would silently equate ``[1, 1]`` with ``[1]``.
 
     A result set is immutable after construction (``rows`` is a tuple of
-    tuples), which lets :meth:`normalized` cache its frozenset: every
-    ``same_rows`` / ``contains_all`` call — twice per comparison on the
-    differential hot path — previously re-normalized both sides from scratch.
+    tuples), which lets :meth:`normalized` / :meth:`normalized_bag` cache
+    their views: every ``same_rows`` / ``contains_all`` call — twice per
+    comparison on the differential hot path — previously re-normalized both
+    sides from scratch.
     """
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
         self.columns: Tuple[str, ...] = tuple(columns)
         self.rows: Tuple[Tuple[Any, ...], ...] = tuple(tuple(row) for row in rows)
         self._normalized: Optional[FrozenSet[Tuple[Any, ...]]] = None
+        self._normalized_bag: Optional[Counter] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -42,6 +48,14 @@ class ResultSet:
             self._normalized = frozenset(normalize_row(row) for row in self.rows)
         return self._normalized
 
+    def normalized_bag(self) -> Counter:
+        """The multiset of normalized rows (row -> multiplicity), cached."""
+        if self._normalized_bag is None:
+            self._normalized_bag = Counter(
+                normalize_row(row) for row in self.rows
+            )
+        return self._normalized_bag
+
     def sorted_rows(self) -> List[Tuple[Any, ...]]:
         """Rows sorted into a deterministic order (for display and snapshots)."""
         return sorted(self.rows, key=row_sort_key)
@@ -54,6 +68,10 @@ class ResultSet:
     def same_rows(self, other: "ResultSet") -> bool:
         """Set equality of normalized rows."""
         return self.normalized() == other.normalized()
+
+    def same_bag(self, other: "ResultSet") -> bool:
+        """Multiset equality of normalized rows (duplicates count)."""
+        return self.normalized_bag() == other.normalized_bag()
 
     def contains_all(self, other: "ResultSet") -> bool:
         """True when every row of *other* appears in this result set."""

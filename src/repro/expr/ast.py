@@ -400,6 +400,44 @@ class ExistsSubquery(Expression):
         return f"({keyword} ({self.subquery.render()}))"
 
 
+@dataclass(frozen=True, repr=False)
+class ScalarSubquery(Expression):
+    """``(SELECT ...)`` used as a scalar value; the subquery is a QuerySpec.
+
+    Uncorrelated only (the planner's subquery executor ignores the outer
+    row).  SQL semantics: an empty subquery result is NULL, a single row
+    yields its first column.  More than one row is an *error* in most engines
+    but silently takes the first row in SQLite — a divergence no differential
+    oracle can adjudicate — so the generator only builds single-row-guaranteed
+    subqueries (an aggregate select with no GROUP BY) and evaluation refuses
+    multi-row results outright instead of picking an engine to mimic.
+    """
+
+    subquery: Any
+
+    @staticmethod
+    def resolve_rows(rows: Sequence[Any]) -> Any:
+        """Collapse an executed subquery result to its scalar value."""
+        if not rows:
+            return NULL
+        if len(rows) > 1:
+            raise ExpressionError(
+                f"scalar subquery returned {len(rows)} rows"
+            )
+        row = rows[0]
+        return row[0] if isinstance(row, (tuple, list)) else row
+
+    def eval(self, ctx: EvalContext) -> Any:
+        if ctx.subquery_executor is None:
+            raise ExpressionError(
+                "scalar subquery evaluated without a subquery executor"
+            )
+        return self.resolve_rows(ctx.subquery_executor(self.subquery, ctx))
+
+    def render(self) -> str:
+        return f"({self.subquery.render()})"
+
+
 _ARITHMETIC_OPS = {"+", "-", "*", "/"}
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 import networkx as nx
 
 from repro.catalog.schema import DatabaseSchema
-from repro.plan.logical import QuerySpec
+from repro.plan.logical import AnyQuerySpec, CompoundQuerySpec, QuerySpec
 
 TABLE_LABEL = "table"
 
@@ -92,8 +92,41 @@ class QueryGraphBuilder:
     def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
 
-    def build(self, query: QuerySpec) -> QueryGraph:
-        """Build the query graph of *query*."""
+    def build(self, query: AnyQuerySpec) -> QueryGraph:
+        """Build the query graph of *query* (compound specs via :meth:`build_compound`)."""
+        if isinstance(query, CompoundQuerySpec):
+            return self.build_compound(query)
+        return self._build_spec(query)
+
+    def build_compound(self, query: CompoundQuerySpec) -> QueryGraph:
+        """Build the graph of a set-operation / CTE query.
+
+        Each arm's graph is embedded with an ``a{i}:``-prefixed vertex
+        namespace (arms are usually structural twins, so their aliases would
+        collide otherwise), and one extra root vertex — labelled with the
+        uniform set operator, or ``cte`` for a single-arm CTE — connects to
+        every arm's base table with a ``set arm`` edge.  The canonical label
+        therefore distinguishes ``A UNION B`` from ``A EXCEPT B`` and both
+        from the plain arm, while staying invariant under arm renaming.
+        """
+        root = "compound"
+        root_label = (query.operators[0].value if query.operators else "cte")
+        vertices: List[Tuple[str, str]] = [(root, root_label)]
+        edges: List[Tuple[str, str, str]] = []
+        for index, arm in enumerate(query.arms):
+            prefix = f"a{index}:"
+            arm_graph = self._build_spec(arm)
+            vertices.extend(
+                (prefix + vertex, label) for vertex, label in arm_graph.vertices
+            )
+            edges.extend(
+                (prefix + left, prefix + right, label)
+                for left, right, label in arm_graph.edges
+            )
+            edges.append((root, prefix + arm.base.alias, "set arm"))
+        return QueryGraph(tuple(vertices), tuple(edges))
+
+    def _build_spec(self, query: QuerySpec) -> QueryGraph:
         vertices: List[Tuple[str, str]] = []
         edges: List[Tuple[str, str, str]] = []
         seen_vertices: Set[str] = set()

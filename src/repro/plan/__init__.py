@@ -3,11 +3,14 @@
 from repro.plan.joins import EFFECT_NAMES, Join, JoinKeySpec
 from repro.plan.logical import (
     AggregateFunction,
+    AnyQuerySpec,
+    CompoundQuerySpec,
     JoinStep,
     JoinType,
     OrderItem,
     QuerySpec,
     SelectItem,
+    SetOperator,
     TableRef,
 )
 from repro.plan.operators import Filter, Limit, Materialize, Project, Sort, TableScan
@@ -21,6 +24,8 @@ from repro.plan.physical import (
 
 __all__ = [
     "AggregateFunction",
+    "AnyQuerySpec",
+    "CompoundQuerySpec",
     "EFFECT_NAMES",
     "ExecRow",
     "ExecutionHooks",
@@ -37,6 +42,7 @@ __all__ = [
     "Project",
     "QuerySpec",
     "SelectItem",
+    "SetOperator",
     "Sort",
     "TableRef",
     "TableScan",

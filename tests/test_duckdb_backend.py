@@ -86,3 +86,56 @@ class TestDifferentialCampaign:
             DuckDBBackend(), config, pipeline=PipelineConfig(batch_size=4)
         )
         assert serial.samples == pipelined.samples
+
+    def test_widened_grammar_campaign_zero_false_positives(self):
+        # The widened SQL surface — UNION / UNION ALL / INTERSECT / EXCEPT
+        # compounds, WITH-wrapped statements and uncorrelated scalar
+        # subqueries — differentially against real DuckDB.  DuckDB's default
+        # NULL placement on ORDER BY (NULLS LAST ascending) differs from the
+        # reference, so this also exercises the explicit NULLS clause path.
+        result = run_differential_campaign(
+            DuckDBBackend(),
+            CampaignConfig(hours=2, queries_per_hour=60, seed=17,
+                           dataset_rows=100, use_query_cache=True,
+                           setop_probability=0.4,
+                           scalar_subquery_probability=0.3,
+                           cte_probability=0.25),
+        )
+        assert result.final.queries_executed >= 100
+        assert result.final.bug_count == 0, (
+            f"false positives against DuckDB: "
+            f"{[i.query_sql for i in result.bug_log.incidents[:3]]}"
+        )
+
+
+class TestNullOrdering:
+    def test_order_by_nullable_column_matches_reference(self):
+        from repro.backends.sqlrender import DUCKDB_DIALECT
+        from repro.expr.ast import ColumnRef
+        from repro.plan.logical import (
+            OrderItem,
+            QuerySpec,
+            SelectItem,
+            TableRef,
+        )
+
+        assert DUCKDB_DIALECT.supports_nulls_ordering
+        dsg, backend = deployed_backend(seed=1, rows=120)
+        reference = reference_engine(dsg.database)
+        try:
+            for descending in (False, True):
+                query = QuerySpec(
+                    base=TableRef("T1", "T1"),
+                    select=[SelectItem(ColumnRef("T1", "goodsId"))],
+                    order_by=[OrderItem(ColumnRef("T1", "goodsId"),
+                                        descending=descending)],
+                    distinct=False,
+                )
+                execution = backend.execute(query)
+                assert "NULLS" in execution.sql
+                expected = reference.execute(query)
+                # Order-sensitive on purpose: DuckDB's *default* placement
+                # disagrees with the reference; the explicit clause fixes it.
+                assert list(expected.rows) == list(execution.result.rows)
+        finally:
+            backend.close()
